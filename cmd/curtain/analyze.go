@@ -1,0 +1,133 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"cellcurtain/internal/analysis"
+	"cellcurtain/internal/dataset"
+)
+
+// runAnalyze loads a JSONL dataset written by `curtain simulate` (or any
+// compatible collector) and prints the dataset-derivable analyses without
+// rebuilding the simulation world. It is the offline half of the
+// pipeline: the paper's own workflow of collecting in the field and
+// analyzing later.
+func runAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "dataset.jsonl", "input JSONL dataset")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ds, err := dataset.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if ds.Len() == 0 {
+		return fmt.Errorf("analyze: %s contains no experiments", *in)
+	}
+	byCarrier := ds.ByCarrier()
+	carriers := make([]string, 0, len(byCarrier))
+	for name := range byCarrier {
+		carriers = append(carriers, name)
+	}
+	sort.Strings(carriers)
+	fmt.Printf("dataset: %d experiments, %d carriers\n\n", ds.Len(), len(carriers))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+
+	fmt.Println("LDNS pairs (Table 3)")
+	fmt.Fprintln(tw, "carrier\tclient-facing\texternal\text /24s\tconsistency %")
+	for _, name := range carriers {
+		ps := analysis.LDNSPairStats(byCarrier[name])
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.1f\n",
+			name, ps.ClientFacing, ps.External, ps.ExternalSlash24s, ps.Consistency*100)
+	}
+	tw.Flush()
+
+	fmt.Println("\nresolution medians, ms (Figs 5/6/13; LTE only)")
+	fmt.Fprintln(tw, "carrier\tlocal p50\tgoogle p50\topendns p50\tlocal p95")
+	for _, name := range carriers {
+		exps := byCarrier[name]
+		l := analysis.ResolutionSample(exps, dataset.KindLocal, "LTE")
+		g := analysis.ResolutionSample(exps, dataset.KindGoogle, "LTE")
+		o := analysis.ResolutionSample(exps, dataset.KindOpenDNS, "LTE")
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			name, l.Median(), g.Median(), o.Median(), l.Percentile(95))
+	}
+	tw.Flush()
+
+	fmt.Println("\ncache effect (Fig 7; paired back-to-back lookups)")
+	fmt.Fprintf(tw, "all carriers\tmiss fraction\t%.2f\n",
+		analysis.PairedMissFraction(ds.Experiments, dataset.KindLocal, 18*time.Millisecond))
+	tw.Flush()
+
+	fmt.Println("\nreplica inflation over each user's best, percent (Fig 2)")
+	fmt.Fprintln(tw, "carrier\tp50\tp90\tfrac>50%")
+	for _, name := range carriers {
+		s := analysis.InflationCDF(byCarrier[name], "")
+		if s.Len() == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.2f\n",
+			name, s.Percentile(50), s.Percentile(90), 1-s.FracBelow(50))
+	}
+	tw.Flush()
+
+	fmt.Println("\npublic vs local replicas, percent diff (Fig 14; google)")
+	fmt.Fprintln(tw, "carrier\tfrac==0\tfrac<=0\tp90")
+	for _, name := range carriers {
+		s := analysis.RelativeReplicaPerf(byCarrier[name], dataset.KindGoogle)
+		if s.Len() == 0 {
+			continue
+		}
+		zero := s.FracBelow(0) - s.FracBelow(-1e-9)
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.0f\n", name, zero, s.FracBelow(0), s.Percentile(90))
+	}
+	tw.Flush()
+
+	fmt.Println("\nresolver churn per busiest client (Figs 8/12)")
+	fmt.Fprintln(tw, "carrier\tclient\tobs\tlocal IPs\tlocal /24s\tgoogle /24s")
+	for _, name := range carriers {
+		exps := byCarrier[name]
+		id := busiestClient(exps)
+		local := analysis.ResolverTimeline(exps, id, dataset.KindLocal)
+		google := analysis.ResolverTimeline(exps, id, dataset.KindGoogle)
+		if len(local) == 0 {
+			continue
+		}
+		ips, p24 := analysis.CumulativeUnique(local)
+		_, g24 := analysis.CumulativeUnique(google)
+		gLast := 0
+		if len(g24) > 0 {
+			gLast = g24[len(g24)-1]
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\n",
+			name, id, len(local), ips[len(ips)-1], p24[len(p24)-1], gLast)
+	}
+	tw.Flush()
+	return nil
+}
+
+func busiestClient(exps []*dataset.Experiment) string {
+	counts := map[string]int{}
+	for _, e := range exps {
+		counts[e.ClientID]++
+	}
+	best, bestN := "", -1
+	ids := analysis.ClientIDs(exps)
+	for _, id := range ids {
+		if counts[id] > bestN {
+			best, bestN = id, counts[id]
+		}
+	}
+	return best
+}

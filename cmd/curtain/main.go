@@ -1,0 +1,156 @@
+// Command curtain drives the cellcurtain reproduction study from the
+// command line.
+//
+// Usage:
+//
+//	curtain list                          print the experiment catalog
+//	curtain report [flags]                regenerate every table and figure
+//	curtain exp -id F14 [flags]           regenerate one artifact
+//	curtain simulate -out data.jsonl      run a campaign, dump the dataset
+//
+// Common flags: -seed, -days, -interval-hours, -scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cellcurtain"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = runList()
+	case "report":
+		err = runReport(args)
+	case "exp":
+		err = runExp(args)
+	case "simulate":
+		err = runSimulate(args)
+	case "analyze":
+		err = runAnalyze(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "curtain: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "curtain:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: curtain <command> [flags]
+
+commands:
+  list       print the experiment catalog (table/figure IDs)
+  report     run a campaign and regenerate every table and figure
+  exp        regenerate one artifact: curtain exp -id F14
+  simulate   run a campaign and write the raw dataset as JSONL
+  analyze    offline analysis of a JSONL dataset (no simulation)
+
+flags (report/exp/simulate):
+  -seed N             RNG seed (default 2014)
+  -days N             campaign length in days (default: full five months)
+  -interval-hours N   per-device experiment period (default 12)
+  -scale F            client population scale (default 1.0 = 158 devices)`)
+}
+
+func studyFlags(fs *flag.FlagSet) func() (*cellcurtain.Study, error) {
+	seed := fs.Uint64("seed", 2014, "RNG seed")
+	days := fs.Int("days", 0, "campaign days (0 = full five months)")
+	interval := fs.Int("interval-hours", 0, "experiment period in hours")
+	scale := fs.Float64("scale", 0, "client population scale")
+	return func() (*cellcurtain.Study, error) {
+		fmt.Fprintln(os.Stderr, "curtain: building world and running campaign...")
+		s, err := cellcurtain.NewStudy(cellcurtain.Options{
+			Seed: *seed, Days: *days, IntervalHours: *interval, ClientScale: *scale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "curtain: %d experiments from %d clients\n",
+			s.ExperimentCount(), s.ClientCount())
+		return s, nil
+	}
+}
+
+func runList() error {
+	fmt.Println("paper artifacts (see DESIGN.md for the full index):")
+	for _, id := range cellcurtain.ExperimentIDs() {
+		fmt.Printf("  %s\n", id)
+	}
+	fmt.Println("extensions:")
+	for _, id := range cellcurtain.ExtensionIDs() {
+		fmt.Printf("  %s\n", id)
+	}
+	return nil
+}
+
+func runReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	build := studyFlags(fs)
+	fs.Parse(args)
+	s, err := build()
+	if err != nil {
+		return err
+	}
+	fmt.Print(s.Report())
+	return nil
+}
+
+func runExp(args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ExitOnError)
+	id := fs.String("id", "", "experiment id (T1-T5, F2-F14, EGRESS)")
+	build := studyFlags(fs)
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("exp requires -id (try 'curtain list')")
+	}
+	s, err := build()
+	if err != nil {
+		return err
+	}
+	a, err := s.Reproduce(*id)
+	if err != nil {
+		return err
+	}
+	fmt.Print(a.Text)
+	fmt.Println("\nkey metrics:")
+	for _, k := range a.MetricNames() {
+		fmt.Printf("  %-32s %.3f\n", k, a.Metrics[k])
+	}
+	return nil
+}
+
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	out := fs.String("out", "dataset.jsonl", "output JSONL path")
+	build := studyFlags(fs)
+	fs.Parse(args)
+	s, err := build()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.WriteDataset(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "curtain: wrote %d experiments to %s\n", s.ExperimentCount(), *out)
+	return nil
+}

@@ -1,0 +1,96 @@
+// Command dnsprobe is the standalone mobile-DNS measurement tool: the
+// paper's per-device experiment over real sockets. For each target domain
+// it issues two back-to-back A lookups against every configured resolver
+// (device-local and public), optionally discovers each resolver's
+// external-facing identity through a whoami zone, and prints per-resolver
+// timing and answer summaries.
+//
+// Usage:
+//
+//	dnsprobe -resolvers 8.8.8.8,208.67.222.222 -domains m.yelp.com,buzzfeed.com
+//	dnsprobe -resolvers 10.0.0.1 -whoami whoami.example.org -rounds 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/netip"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"cellcurtain/internal/dnsclient"
+	"cellcurtain/internal/dnswire"
+)
+
+func main() {
+	resolvers := flag.String("resolvers", "8.8.8.8", "comma-separated resolver addresses")
+	domains := flag.String("domains", "m.facebook.com,www.google.com,m.youtube.com,m.amazon.com,m.yelp.com,m.twitter.com,buzzfeed.com,m.espn.go.com,www.reddit.com",
+		"comma-separated domains to resolve (default: the paper's Table 2 set)")
+	whoami := flag.String("whoami", "", "whoami zone for resolver discovery (empty = skip)")
+	rounds := flag.Int("rounds", 1, "experiment rounds")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-query timeout")
+	port := flag.Uint("port", 53, "resolver UDP port")
+	flag.Parse()
+
+	var servers []netip.Addr
+	for _, r := range strings.Split(*resolvers, ",") {
+		a, err := netip.ParseAddr(strings.TrimSpace(r))
+		if err != nil {
+			log.Fatalf("dnsprobe: bad resolver %q: %v", r, err)
+		}
+		servers = append(servers, a)
+	}
+	names := strings.Split(*domains, ",")
+
+	transport := &dnsclient.UDPTransport{Timeout: *timeout, Port: uint16(*port)}
+	client := dnsclient.New(transport, func() uint16 { return uint16(rand.Intn(1 << 16)) })
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "round\tresolver\tdomain\trtt1\trtt2\tanswers\tcname\tttl")
+	for round := 1; round <= *rounds; round++ {
+		for _, server := range servers {
+			for _, raw := range names {
+				domain := dnswire.Name(strings.TrimSpace(raw))
+				res1, err := client.QueryA(server, domain)
+				if err != nil {
+					fmt.Fprintf(tw, "%d\t%s\t%s\tERR: %v\t\t\t\t\n", round, server, domain, err)
+					continue
+				}
+				rtt2 := time.Duration(0)
+				if res2, err := client.QueryA(server, domain); err == nil {
+					rtt2 = res2.RTT
+				}
+				cname := ""
+				if ch := res1.Msg.CNAMEChain(); len(ch) > 0 {
+					cname = string(ch[0])
+				}
+				fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%s\t%d\n",
+					round, server, domain,
+					res1.RTT.Round(time.Microsecond), rtt2.Round(time.Microsecond),
+					joinAddrs(res1.IPs()), cname, res1.Msg.MinAnswerTTL())
+			}
+			if *whoami != "" {
+				nonce := dnswire.Name(fmt.Sprintf("x%d-%d.%s", time.Now().UnixNano(), round, *whoami))
+				if res, err := client.QueryA(server, nonce); err == nil && len(res.IPs()) == 1 {
+					fmt.Fprintf(tw, "%d\t%s\twhoami\t%s\t\t%s\t\t\n",
+						round, server, res.RTT.Round(time.Microsecond), res.IPs()[0])
+				} else {
+					fmt.Fprintf(tw, "%d\t%s\twhoami\tFAILED\t\t\t\t\n", round, server)
+				}
+			}
+		}
+		tw.Flush()
+	}
+}
+
+func joinAddrs(addrs []netip.Addr) string {
+	parts := make([]string, len(addrs))
+	for i, a := range addrs {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " ")
+}

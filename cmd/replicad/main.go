@@ -1,0 +1,47 @@
+// Command replicad runs a CDN-replica-style HTTP server whose responses
+// identify the serving node, for end-to-end TTFB measurements against a
+// real network. It is the real-socket twin of the simulated replicas.
+//
+// Usage:
+//
+//	replicad -listen :8080 -name edge7.chicago
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+	name := flag.String("name", "replica0.local", "replica identity reported in responses")
+	delay := flag.Duration("delay", 0, "artificial processing delay (testing)")
+	flag.Parse()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if *delay > 0 {
+			time.Sleep(*delay)
+		}
+		w.Header().Set("Server", *name)
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintf(w, "served-by: %s\npath: %s\nhost: %s\ntime: %s\n",
+			*name, r.URL.Path, r.Host, time.Now().UTC().Format(time.RFC3339Nano))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("replicad: %s serving on %s", *name, *listen)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("replicad: %v", err)
+	}
+}

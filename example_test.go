@@ -1,0 +1,60 @@
+package cellcurtain_test
+
+import (
+	"fmt"
+	"strings"
+
+	"cellcurtain"
+)
+
+// The catalog of reproducible artifacts is fixed and matches DESIGN.md.
+func ExampleExperimentIDs() {
+	ids := cellcurtain.ExperimentIDs()
+	fmt.Println(len(ids), "paper artifacts, first:", ids[0], "last:", ids[len(ids)-1])
+	fmt.Println("extensions:", strings.Join(cellcurtain.ExtensionIDs(), " "))
+	// Output:
+	// 19 paper artifacts, first: T1 last: F14
+	// extensions: ECS ABL-TTL ABL-CONSISTENCY ABL-GRANULARITY
+}
+
+// A minimal study: tiny population, three days, fully deterministic.
+func ExampleNewStudy() {
+	study, err := cellcurtain.NewStudy(cellcurtain.Options{
+		Seed: 42, Days: 3, ClientScale: 0.05,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("carriers:", len(study.Carriers()))
+	fmt.Println("domains:", len(study.Domains()))
+
+	artifact, err := study.Reproduce("T1")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("clients:", int(artifact.Metrics["clients_total"]))
+	// Output:
+	// carriers: 6
+	// domains: 9
+	// clients: 10
+}
+
+// Artifacts expose their key numbers as named metrics.
+func ExampleArtifact_MetricNames() {
+	study, err := cellcurtain.NewStudy(cellcurtain.Options{
+		Seed: 42, Days: 3, ClientScale: 0.05,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	a, _ := study.Reproduce("T2")
+	for _, name := range a.MetricNames() {
+		fmt.Printf("%s = %.0f\n", name, a.Metrics[name])
+	}
+	// Output:
+	// cnamed = 9
+	// domains = 9
+}

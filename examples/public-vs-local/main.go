@@ -1,0 +1,45 @@
+// public-vs-local: the §6 comparison — is Google/OpenDNS actually worse
+// than the carrier's own DNS on a phone? Reproduces the three public-DNS
+// artifacts (resolution time, resolver distance, replica performance) and
+// prints the paper's headline takeaway: despite resolving slower and
+// sitting farther away, public DNS picks equal-or-better content replicas
+// three quarters of the time.
+//
+//	go run ./examples/public-vs-local
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellcurtain"
+)
+
+func main() {
+	study, err := cellcurtain.NewStudy(cellcurtain.Options{Seed: 11, Days: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, id := range []string{"F13", "F11", "F14"} {
+		a, err := study.Reproduce(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(a.Text)
+		fmt.Println()
+	}
+
+	f13, _ := study.Reproduce("F13")
+	f14, _ := study.Reproduce("F14")
+	fmt.Println("headline comparison (google vs carrier DNS):")
+	for _, carrier := range study.Carriers() {
+		local := f13.Metrics["local_p50_"+carrier]
+		google := f13.Metrics["google_p50_"+carrier]
+		eqb := f14.Metrics["google_eqorbetter_"+carrier]
+		fmt.Printf("  %-10s resolution %+.0f ms slower, yet replicas equal-or-better %.0f%% of the time\n",
+			carrier, google-local, eqb*100)
+	}
+	fmt.Println("\nthe paper's conclusion: cellular DNS wins on resolution latency")
+	fmt.Println("but squanders its locality advantage at replica-selection time.")
+}

@@ -1,0 +1,36 @@
+// Quickstart: run a one-week scaled-down measurement campaign and print
+// the study inventory plus one reproduced artifact.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellcurtain"
+)
+
+func main() {
+	study, err := cellcurtain.NewStudy(cellcurtain.Options{
+		Seed:        1,
+		Days:        7,
+		ClientScale: 0.25, // ~40 devices instead of the paper's 158
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("campaign: %d experiments from %d devices across %d carriers\n",
+		study.ExperimentCount(), study.ClientCount(), len(study.Carriers()))
+	fmt.Printf("measured domains: %v\n\n", study.Domains())
+
+	// Regenerate Table 3 — the paper's LDNS-pair characterization.
+	artifact, err := study.Reproduce("T3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(artifact.Text)
+
+	fmt.Println("\nall reproducible artifacts:", cellcurtain.ExperimentIDs())
+}

@@ -1,0 +1,50 @@
+// what-if: the beyond-the-paper experiments. Runs the §7 EDNS
+// client-subnet what-if and the three ablations, and prints what each
+// says about *why* cellular replica selection goes wrong:
+//
+//   - ECS:             better localization input fixes the bad-guess tail
+//
+//   - ABL-TTL:         short CDN TTLs cause the Fig 7 miss rate
+//
+//   - ABL-CONSISTENCY: resolver churn drives inflation on anycast carriers
+//
+//   - ABL-GRANULARITY: mapping granularity trades localization for churn
+//
+//     go run ./examples/what-if
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellcurtain"
+)
+
+func main() {
+	// Two weeks at 60% population keeps the four experiments (two of
+	// which rebuild whole worlds) under a couple of minutes.
+	study, err := cellcurtain.NewStudy(cellcurtain.Options{
+		Seed: 77, Days: 14, ClientScale: 0.6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline campaign: %d experiments\n\n", study.ExperimentCount())
+
+	for _, id := range cellcurtain.ExtensionIDs() {
+		a, err := study.Reproduce(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(a.Text)
+		fmt.Println()
+	}
+
+	fmt.Println("reading guide:")
+	fmt.Println(" - ECS gains are small at the median and large in the tail: the")
+	fmt.Println("   CDN already guesses right most of the time; ECS kills the rest.")
+	fmt.Println(" - the TTL sweep is the paper's Fig 7 claim made causal.")
+	fmt.Println(" - stable pairings help most where Fig 8 showed the wildest churn.")
+	fmt.Println(" - /32 mapping amplifies churn; /16 blurs localization: /24 is the")
+	fmt.Println("   compromise the paper observed CDNs using.")
+}

@@ -1,0 +1,3 @@
+module cellcurtain
+
+go 1.22

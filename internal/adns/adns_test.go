@@ -1,0 +1,103 @@
+package adns
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dnswire"
+	"cellcurtain/internal/stats"
+	"cellcurtain/internal/vnet"
+)
+
+var resolver = netip.MustParseAddr("66.174.95.7")
+
+func TestWhoamiAnswersQuerierAddress(t *testing.T) {
+	w := New(nil, nil)
+	q := dnswire.NewQuery(1, w.NonceName(42), dnswire.TypeA)
+	resp := w.Answer(resolver, q)
+	if resp.Header.RCode != dnswire.RCodeSuccess || !resp.Header.Authoritative {
+		t.Fatalf("header %+v", resp.Header)
+	}
+	ips := resp.AnswerIPs()
+	if len(ips) != 1 || ips[0] != resolver {
+		t.Fatalf("answer = %v, want querier %v", ips, resolver)
+	}
+	if resp.Answers[0].TTL != 0 {
+		t.Fatal("whoami answers must have TTL 0")
+	}
+}
+
+func TestWhoamiTXT(t *testing.T) {
+	w := New(nil, nil)
+	q := dnswire.NewQuery(2, w.NonceName(1), dnswire.TypeTXT)
+	resp := w.Answer(resolver, q)
+	txt, ok := resp.Answers[0].Data.(dnswire.TXT)
+	if !ok || txt.Strings[0] != "resolver=66.174.95.7" {
+		t.Fatalf("TXT = %+v", resp.Answers)
+	}
+}
+
+func TestWhoamiRefusesForeignZones(t *testing.T) {
+	w := New(nil, nil)
+	q := dnswire.NewQuery(3, "www.google.com", dnswire.TypeA)
+	resp := w.Answer(resolver, q)
+	if resp.Header.RCode != dnswire.RCodeRefused {
+		t.Fatalf("rcode = %v, want REFUSED", resp.Header.RCode)
+	}
+}
+
+func TestWhoamiNoDataForOtherTypes(t *testing.T) {
+	w := New(nil, nil)
+	q := dnswire.NewQuery(4, w.NonceName(9), dnswire.TypeMX)
+	resp := w.Answer(resolver, q)
+	if resp.Header.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 0 {
+		t.Fatalf("want NODATA, got %+v", resp)
+	}
+}
+
+func TestWhoamiFormErrOnZeroQuestions(t *testing.T) {
+	w := New(nil, nil)
+	resp := w.Answer(resolver, &dnswire.Message{Header: dnswire.Header{ID: 9}})
+	if resp.Header.RCode != dnswire.RCodeFormErr {
+		t.Fatalf("rcode = %v, want FORMERR", resp.Header.RCode)
+	}
+}
+
+func TestNonceNamesUniqueAndInZone(t *testing.T) {
+	w := New(nil, nil)
+	a, b := w.NonceName(1), w.NonceName(2)
+	if a == b {
+		t.Fatal("nonce names must differ")
+	}
+	if !a.HasSuffix(Zone) {
+		t.Fatalf("nonce %s not under zone", a)
+	}
+}
+
+func TestServeOverVnet(t *testing.T) {
+	w := New(stats.Constant{V: 2 * time.Millisecond}, stats.NewRNG(1))
+	q := dnswire.NewQuery(7, w.NonceName(3), dnswire.TypeA)
+	payload, _ := q.Pack()
+	raw, proc, err := w.Serve(vnet.Request{Src: resolver, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc != 2*time.Millisecond {
+		t.Fatalf("processing = %v", proc)
+	}
+	resp, err := dnswire.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ips := resp.AnswerIPs(); len(ips) != 1 || ips[0] != resolver {
+		t.Fatalf("answer = %v", ips)
+	}
+}
+
+func TestServeRejectsGarbage(t *testing.T) {
+	w := New(nil, nil)
+	if _, _, err := w.Serve(vnet.Request{Src: resolver, Payload: []byte{1}}); err == nil {
+		t.Fatal("garbage payload must error")
+	}
+}

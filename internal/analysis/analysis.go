@@ -1,0 +1,522 @@
+// Package analysis computes the paper's metrics from a measurement
+// dataset: LDNS pair statistics and consistency (Table 3), cosine
+// similarity of replica maps (§5, Fig 10), replica latency inflation
+// (Fig 2), resolution-time distributions (Figs 3, 5, 6, 7, 13), resolver
+// distance and reachability (Figs 4, 11), longitudinal resolver churn
+// (Figs 8, 9, 12), egress-point extraction (§5.2) and the public-vs-local
+// replica comparison (Fig 14).
+package analysis
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/stats"
+	"cellcurtain/internal/vnet"
+)
+
+// Cosine computes the cosine similarity of two non-negative weight
+// vectors keyed by string. Empty vectors yield 0.
+func Cosine(a, b map[string]float64) float64 {
+	var dot, na, nb float64
+	for k, av := range a {
+		na += av * av
+		if bv, ok := b[k]; ok {
+			dot += av * bv
+		}
+	}
+	for _, bv := range b {
+		nb += bv * bv
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// PairStats summarizes one carrier's LDNS pairing behaviour (Table 3).
+type PairStats struct {
+	// ClientFacing and External are the unique resolver addresses seen.
+	ClientFacing, External int
+	// ExternalSlash24s counts the /24s the externals span.
+	ExternalSlash24s int
+	// Consistency is the measurement-weighted mean, over (client,
+	// client-facing resolver) groups, of the modal pairing share — the
+	// paper's "stability of mappings between clients, their locally
+	// configured resolver, and the external facing resolver" (§4).
+	Consistency float64
+	// Pairs is the raw (configured, external) observation count.
+	Pairs map[[2]netip.Addr]int
+}
+
+// LDNSPairStats derives Table 3 for one carrier's experiments.
+func LDNSPairStats(exps []*dataset.Experiment) PairStats {
+	ps := PairStats{Pairs: map[[2]netip.Addr]int{}}
+	type group struct {
+		client     string
+		configured netip.Addr
+	}
+	cf := map[netip.Addr]bool{}
+	groups := map[group]map[netip.Addr]int{}
+	ext := map[netip.Addr]bool{}
+	ext24 := map[netip.Prefix]bool{}
+	for _, e := range exps {
+		external, ok := e.DiscoveredExternal(dataset.KindLocal)
+		if !ok {
+			continue
+		}
+		g := group{e.ClientID, e.Configured}
+		if groups[g] == nil {
+			groups[g] = map[netip.Addr]int{}
+		}
+		groups[g][external]++
+		cf[e.Configured] = true
+		ext[external] = true
+		ext24[vnet.Slash24(external)] = true
+		ps.Pairs[[2]netip.Addr{e.Configured, external}]++
+	}
+	ps.ClientFacing = len(cf)
+	ps.External = len(ext)
+	ps.ExternalSlash24s = len(ext24)
+	var weighted, total float64
+	for _, externals := range groups {
+		sum, max := 0, 0
+		for _, n := range externals {
+			sum += n
+			if n > max {
+				max = n
+			}
+		}
+		weighted += float64(max)
+		total += float64(sum)
+	}
+	if total > 0 {
+		ps.Consistency = weighted / total
+	}
+	return ps
+}
+
+// ResolutionSample collects first-lookup resolution times (ms) for one
+// resolver kind, optionally filtered by radio technology ("" = all).
+func ResolutionSample(exps []*dataset.Experiment, kind dataset.ResolverKind, radio string) *stats.Sample {
+	s := &stats.Sample{}
+	for _, e := range exps {
+		for _, r := range e.Resolutions {
+			if r.Kind != kind || !r.OK {
+				continue
+			}
+			if radio != "" && r.Radio != radio {
+				continue
+			}
+			s.AddDuration(r.RTT1)
+		}
+	}
+	return s
+}
+
+// SecondLookupSample collects the immediate re-lookup times (Fig 7's
+// second curve), optionally filtered by radio technology ("" = all).
+func SecondLookupSample(exps []*dataset.Experiment, kind dataset.ResolverKind, radio string) *stats.Sample {
+	s := &stats.Sample{}
+	for _, e := range exps {
+		for _, r := range e.Resolutions {
+			if r.Kind != kind || !r.OK || r.RTT2 <= 0 {
+				continue
+			}
+			if radio != "" && r.Radio != radio {
+				continue
+			}
+			s.AddDuration(r.RTT2)
+		}
+	}
+	return s
+}
+
+// PairedMissFraction estimates the cache-miss rate the way the paper did
+// (§4.3): back-to-back lookups, "measuring the difference between the
+// first and second DNS queries". A first lookup exceeding its immediate
+// re-lookup by more than threshold paid an upstream fetch.
+func PairedMissFraction(exps []*dataset.Experiment, kind dataset.ResolverKind, threshold time.Duration) float64 {
+	total, miss := 0, 0
+	for _, e := range exps {
+		for _, r := range e.Resolutions {
+			if r.Kind != kind || !r.OK || r.RTT2 <= 0 {
+				continue
+			}
+			total++
+			if r.RTT1-r.RTT2 > threshold {
+				miss++
+			}
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(miss) / float64(total)
+}
+
+// RadioGroups splits local resolution times by radio technology (Fig 3).
+func RadioGroups(exps []*dataset.Experiment) map[string]*stats.Sample {
+	out := map[string]*stats.Sample{}
+	for _, e := range exps {
+		for _, r := range e.Resolutions {
+			if r.Kind != dataset.KindLocal || !r.OK {
+				continue
+			}
+			s, ok := out[r.Radio]
+			if !ok {
+				s = &stats.Sample{}
+				out[r.Radio] = s
+			}
+			s.AddDuration(r.RTT1)
+		}
+	}
+	return out
+}
+
+// ResolverPings collects successful resolver ping RTTs (ms) grouped by
+// "<kind>/<which>" ("local/configured", "local/external", "google/vip",
+// ...), for Figs 4 and 11. The returned reach map carries answer rates.
+func ResolverPings(exps []*dataset.Experiment) (samples map[string]*stats.Sample, reach map[string]float64) {
+	samples = map[string]*stats.Sample{}
+	attempts := map[string]int{}
+	answered := map[string]int{}
+	for _, e := range exps {
+		for _, p := range e.ResolverProbes {
+			key := string(p.Kind) + "/" + p.Which
+			attempts[key]++
+			if p.OK {
+				answered[key]++
+				s, ok := samples[key]
+				if !ok {
+					s = &stats.Sample{}
+					samples[key] = s
+				}
+				s.AddDuration(p.RTT)
+			}
+		}
+	}
+	reach = map[string]float64{}
+	for k, n := range attempts {
+		reach[k] = float64(answered[k]) / float64(n)
+	}
+	return samples, reach
+}
+
+// InflationCDF computes Fig 2: for each client and domain, each observed
+// replica's percent increase in mean TTFB over the client's best replica.
+// domain == "" aggregates all domains.
+func InflationCDF(exps []*dataset.Experiment, domain string) *stats.Sample {
+	type key struct {
+		client, domain string
+	}
+	sums := map[key]map[netip.Addr]*[2]float64{} // replica -> {sum_ms, n}
+	for _, e := range exps {
+		for _, rp := range e.ReplicaProbes {
+			if rp.Kind != dataset.KindLocal || !rp.HTTPOK {
+				continue
+			}
+			if domain != "" && rp.Domain != domain {
+				continue
+			}
+			k := key{e.ClientID, rp.Domain}
+			m, ok := sums[k]
+			if !ok {
+				m = map[netip.Addr]*[2]float64{}
+				sums[k] = m
+			}
+			acc, ok := m[rp.Replica]
+			if !ok {
+				acc = &[2]float64{}
+				m[rp.Replica] = acc
+			}
+			acc[0] += float64(rp.TTFB) / float64(time.Millisecond)
+			acc[1]++
+		}
+	}
+	out := &stats.Sample{}
+	for _, replicas := range sums {
+		if len(replicas) < 2 {
+			continue // a single replica has no differential
+		}
+		best := math.Inf(1)
+		for _, acc := range replicas {
+			if mean := acc[0] / acc[1]; mean < best {
+				best = mean
+			}
+		}
+		for _, acc := range replicas {
+			mean := acc[0] / acc[1]
+			out.Add((mean - best) / best * 100)
+		}
+	}
+	return out
+}
+
+// ReplicaVectors builds, per external resolver address, the replica usage
+// vector for one domain: the fraction of local-DNS answers landing in
+// each replica cluster (/24). The paper's cosine similarities are over
+// clusters ("when cos_sim = 0, the sets of redirections have no clusters
+// in common", §5). Resolvers observed fewer than minObs times are
+// dropped: their maps have not converged.
+func ReplicaVectors(exps []*dataset.Experiment, domain string, minObs int) map[netip.Addr]map[string]float64 {
+	counts := map[netip.Addr]map[string]float64{}
+	obs := map[netip.Addr]int{}
+	for _, e := range exps {
+		ext, ok := e.DiscoveredExternal(dataset.KindLocal)
+		if !ok {
+			continue
+		}
+		for _, r := range e.Resolutions {
+			if r.Kind != dataset.KindLocal || !r.OK || r.Domain != domain {
+				continue
+			}
+			m, ok := counts[ext]
+			if !ok {
+				m = map[string]float64{}
+				counts[ext] = m
+			}
+			obs[ext]++
+			for _, ip := range r.Answers {
+				m[vnet.Slash24(ip).String()]++
+			}
+		}
+	}
+	for ext, n := range obs {
+		if n < minObs {
+			delete(counts, ext)
+		}
+	}
+	// Normalize to ratios.
+	for _, m := range counts {
+		var total float64
+		for _, v := range m {
+			total += v
+		}
+		for k := range m {
+			m[k] /= total
+		}
+	}
+	return counts
+}
+
+// CosineSplit compares every pair of resolver replica vectors, split by
+// whether the resolvers share a /24 (Fig 10).
+func CosineSplit(vectors map[netip.Addr]map[string]float64) (same24, diff24 []float64) {
+	addrs := make([]netip.Addr, 0, len(vectors))
+	for a := range vectors {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	for i := 0; i < len(addrs); i++ {
+		for j := i + 1; j < len(addrs); j++ {
+			c := Cosine(vectors[addrs[i]], vectors[addrs[j]])
+			if vnet.Slash24(addrs[i]) == vnet.Slash24(addrs[j]) {
+				same24 = append(same24, c)
+			} else {
+				diff24 = append(diff24, c)
+			}
+		}
+	}
+	return same24, diff24
+}
+
+// FracAtOrBelow returns the fraction of xs <= v.
+func FracAtOrBelow(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// UniqueExternals counts distinct external resolver identities (and their
+// /24s) observed through one resolver kind (Table 5).
+func UniqueExternals(exps []*dataset.Experiment, kind dataset.ResolverKind) (ips, slash24s int) {
+	ipSet := map[netip.Addr]bool{}
+	p24 := map[netip.Prefix]bool{}
+	for _, e := range exps {
+		if ext, ok := e.DiscoveredExternal(kind); ok {
+			ipSet[ext] = true
+			p24[vnet.Slash24(ext)] = true
+		}
+	}
+	return len(ipSet), len(p24)
+}
+
+// TimelinePoint is one resolver observation in a client's history.
+type TimelinePoint struct {
+	Time time.Time
+	Addr netip.Addr
+}
+
+// ResolverTimeline extracts a client's external-resolver observations in
+// time order for one resolver kind (Figs 8, 9, 12).
+func ResolverTimeline(exps []*dataset.Experiment, clientID string, kind dataset.ResolverKind) []TimelinePoint {
+	var out []TimelinePoint
+	for _, e := range exps {
+		if e.ClientID != clientID {
+			continue
+		}
+		if ext, ok := e.DiscoveredExternal(kind); ok {
+			out = append(out, TimelinePoint{Time: e.Time, Addr: ext})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// CumulativeUnique returns, per observation, the number of distinct
+// addresses and distinct /24s seen so far (the y-axes of Fig 8).
+func CumulativeUnique(tl []TimelinePoint) (ips, slash24s []int) {
+	seen := map[netip.Addr]bool{}
+	seen24 := map[netip.Prefix]bool{}
+	for _, p := range tl {
+		seen[p.Addr] = true
+		seen24[vnet.Slash24(p.Addr)] = true
+		ips = append(ips, len(seen))
+		slash24s = append(slash24s, len(seen24))
+	}
+	return ips, slash24s
+}
+
+// ClientIDs returns the distinct clients in the experiments, sorted.
+func ClientIDs(exps []*dataset.Experiment) []string {
+	set := map[string]bool{}
+	for _, e := range exps {
+		set[e.ClientID] = true
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StaticOnly filters a client's experiments to those within radiusKm of
+// the client's modal location (the Fig 9 "static location" filter).
+func StaticOnly(exps []*dataset.Experiment, clientID string, radiusKm float64) []*dataset.Experiment {
+	var own []*dataset.Experiment
+	type cell struct{ lat, lon float64 }
+	counts := map[cell]int{}
+	for _, e := range exps {
+		if e.ClientID != clientID {
+			continue
+		}
+		own = append(own, e)
+		counts[cell{math.Round(e.Lat * 50), math.Round(e.Lon * 50)}]++
+	}
+	var modal cell
+	best := 0
+	for c, n := range counts {
+		if n > best {
+			modal, best = c, n
+		}
+	}
+	centerLat, centerLon := modal.lat/50, modal.lon/50
+	var out []*dataset.Experiment
+	for _, e := range own {
+		dLat := (e.Lat - centerLat) * 111.0
+		dLon := (e.Lon - centerLon) * 111.0 * math.Cos(centerLat*math.Pi/180)
+		if math.Sqrt(dLat*dLat+dLon*dLon) <= radiusKm {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EgressPoints extracts the set of carrier egress routers from the
+// experiments' traceroutes: the last carrier-owned hop immediately before
+// the first hop outside the carrier (§5.2).
+func EgressPoints(exps []*dataset.Experiment, owns func(netip.Addr) bool) map[netip.Addr]int {
+	out := map[netip.Addr]int{}
+	for _, e := range exps {
+		hops := e.EgressTrace
+		for i := 0; i+1 < len(hops); i++ {
+			if owns(hops[i]) && !owns(hops[i+1]) {
+				out[hops[i]]++
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RelativeReplicaPerf computes Fig 14: per experiment and domain, the
+// percent TTFB difference of the replicas a public resolver returned
+// versus the locally-returned ones, with replicas aggregated by /24
+// (equal /24 sets compare as exactly zero).
+func RelativeReplicaPerf(exps []*dataset.Experiment, kind dataset.ResolverKind) *stats.Sample {
+	out := &stats.Sample{}
+	for _, e := range exps {
+		perf := map[dataset.ResolverKind]map[string]map[netip.Prefix][2]float64{}
+		for _, rp := range e.ReplicaProbes {
+			if !rp.HTTPOK {
+				continue
+			}
+			if perf[rp.Kind] == nil {
+				perf[rp.Kind] = map[string]map[netip.Prefix][2]float64{}
+			}
+			byDomain := perf[rp.Kind]
+			if byDomain[rp.Domain] == nil {
+				byDomain[rp.Domain] = map[netip.Prefix][2]float64{}
+			}
+			p := vnet.Slash24(rp.Replica)
+			acc := byDomain[rp.Domain][p]
+			acc[0] += float64(rp.TTFB) / float64(time.Millisecond)
+			acc[1]++
+			byDomain[rp.Domain][p] = acc
+		}
+		local := perf[dataset.KindLocal]
+		pub := perf[kind]
+		for domain, localSets := range local {
+			pubSets, ok := pub[domain]
+			if !ok || len(localSets) == 0 || len(pubSets) == 0 {
+				continue
+			}
+			if samePrefixSets(localSets, pubSets) {
+				out.Add(0)
+				continue
+			}
+			lm := meanOf(localSets)
+			pm := meanOf(pubSets)
+			if lm > 0 {
+				out.Add((pm - lm) / lm * 100)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefixSets(a, b map[netip.Prefix][2]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if _, ok := b[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func meanOf(sets map[netip.Prefix][2]float64) float64 {
+	var sum, n float64
+	for _, acc := range sets {
+		sum += acc[0]
+		n += acc[1]
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}

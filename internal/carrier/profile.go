@@ -1,0 +1,202 @@
+// Package carrier models the six cellular operators the paper profiled:
+// AT&T, Sprint, T-Mobile and Verizon in the US, SK Telecom and LG U+ in
+// South Korea. Each carrier contributes its radio access network, core
+// (tunneled, hop-hiding), egress points, NAT, ingress firewall and DNS
+// resolver infrastructure in one of the three observed styles (§4.1):
+// anycast resolvers, LDNS pools, and tiered resolvers in separate ASes.
+//
+// Parameter values follow Table 3/Table 4 and the §4–§5 prose; where the
+// paper's scanned tables lost digits, values are calibrated to the
+// surviving text and flagged in DESIGN.md §4.
+package carrier
+
+import (
+	"time"
+)
+
+// Style is a carrier's DNS-infrastructure configuration style.
+type Style string
+
+// The three styles of §4.1.
+const (
+	StyleAnycast Style = "anycast"
+	StylePool    Style = "pool"
+	StyleTiered  Style = "tiered"
+)
+
+// Profile is the static description of one carrier.
+type Profile struct {
+	Name        string // short id, e.g. "att"
+	DisplayName string
+	Country     string // "US" or "KR"
+	Style       Style
+
+	// ClientCount is the carrier's measurement population (Table 1).
+	ClientCount int
+	// EgressCount is the number of network egress points (§5.2: 11, 49,
+	// 45, 62 for the US carriers — a 2-10x increase over the 4-6 of
+	// Xu et al.'s 3G-era study).
+	EgressCount int
+
+	// ClientFacingCount and ExternalCount are the resolver counts of
+	// Table 3; ExternalSlash24s is how many /24 prefixes the external
+	// addresses span (1-2 for the SK pool carriers, one per resolver
+	// site otherwise).
+	ClientFacingCount int
+	ExternalCount     int
+	ExternalSlash24s  int
+	// ResolverSites is how many distinct locations host external
+	// resolvers (resolvers cluster at egress points, §4.5).
+	ResolverSites int
+
+	// Consistency is the Table 3 pairing-consistency target: the
+	// stationary probability that a client's modal (client, external)
+	// pairing is observed.
+	Consistency float64
+	// PairEpoch is how often the client↔external mapping may be
+	// re-balanced: hours for the thrashing SK pools, days for anycast.
+	PairEpoch time.Duration
+	// EgressChurnEpoch is how often a client's egress (and with it its
+	// NAT identity) may be re-routed even while stationary (§4.5,
+	// Fig 9: "clients still shift resolvers across IPs and /24 prefixes"
+	// at a static location).
+	EgressChurnEpoch time.Duration
+	// NATChurnEpoch drives ephemeral client address reassignment
+	// (Balakrishnan et al.).
+	NATChurnEpoch time.Duration
+
+	// CDMA selects the 3G fallback radio family (Verizon and Sprint are
+	// CDMA carriers; the others are GSM/UMTS).
+	CDMA bool
+
+	// ClientASN and ExternalASN are the ASes of the client-facing and
+	// external-facing resolvers. They differ only for Verizon (§4.1:
+	// 6167 client-facing vs 22394 external-facing).
+	ClientASN, ExternalASN uint32
+
+	// ClientPingFrac is the fraction of external resolvers that answer
+	// ICMP from the carrier's own clients (Fig 4); OutsidePingFrac the
+	// fraction answering probes from the public Internet (Table 4).
+	ClientPingFrac, OutsidePingFrac float64
+
+	// CollocatedExternals marks SK Telecom's layout where client-facing
+	// and external-facing resolvers have "nearly equal latencies
+	// indicating identical machines or collocated resolvers".
+	CollocatedExternals bool
+	// InternalHopMs is the one-way client-facing→external hop latency in
+	// milliseconds for tiered/distant layouts (Fig 4 separation).
+	InternalHopMs float64
+
+	// RegionalScope marks pool carriers whose pools are regional (scoped
+	// to the resolver site serving the client's egress) rather than
+	// national.
+	RegionalScope bool
+
+	// CoreMs is the median one-way latency through the carrier's packet
+	// core, excluding radio and geographic distance.
+	CoreMs float64
+
+	// Addressing bases (all fabricated, documentation-style prefixes are
+	// avoided so that each carrier's blocks are disjoint).
+	ClientNetOctet  byte // internal client space 10.<octet>.0.0/16
+	NATFirstOctet   byte // NAT pools <first>.<egress>.0.0 style /24 per egress
+	CFSecondOctet   byte // client-facing pool 172.<second>.38.0/24
+	ExtFirstOctet   byte // external resolver /24s <first>.<site>.x.0/24
+	RouterBaseOctet byte // egress router addresses
+}
+
+// Profiles returns the six carrier profiles in the paper's Table 1 order.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "att", DisplayName: "AT&T", Country: "US", Style: StyleAnycast,
+			ClientCount: 33, EgressCount: 11,
+			ClientFacingCount: 2, ExternalCount: 40, ExternalSlash24s: 11, ResolverSites: 11,
+			Consistency: 0.45, PairEpoch: 48 * time.Hour,
+			EgressChurnEpoch: 72 * time.Hour, NATChurnEpoch: 6 * time.Hour,
+			CDMA:      false,
+			ClientASN: 20057, ExternalASN: 20057,
+			ClientPingFrac: 1.0, OutsidePingFrac: 0.85,
+			InternalHopMs: 2, CoreMs: 2.5,
+			ClientNetOctet: 10, NATFirstOctet: 107, CFSecondOctet: 26, ExtFirstOctet: 66, RouterBaseOctet: 12,
+		},
+		{
+			Name: "sprint", DisplayName: "Sprint", Country: "US", Style: StylePool,
+			ClientCount: 9, EgressCount: 49,
+			ClientFacingCount: 6, ExternalCount: 16, ExternalSlash24s: 8, ResolverSites: 8,
+			Consistency: 0.62, PairEpoch: 12 * time.Hour,
+			EgressChurnEpoch: 96 * time.Hour, NATChurnEpoch: 8 * time.Hour,
+			CDMA:      true,
+			ClientASN: 10507, ExternalASN: 10507,
+			ClientPingFrac: 1.0, OutsidePingFrac: 0.0,
+			InternalHopMs: 3, CoreMs: 3,
+			RegionalScope:  true,
+			ClientNetOctet: 11, NATFirstOctet: 108, CFSecondOctet: 27, ExtFirstOctet: 68, RouterBaseOctet: 13,
+		},
+		{
+			Name: "tmobile", DisplayName: "T-Mobile", Country: "US", Style: StyleAnycast,
+			ClientCount: 31, EgressCount: 45,
+			ClientFacingCount: 3, ExternalCount: 30, ExternalSlash24s: 10, ResolverSites: 10,
+			Consistency: 0.52, PairEpoch: 36 * time.Hour,
+			EgressChurnEpoch: 48 * time.Hour, NATChurnEpoch: 4 * time.Hour,
+			CDMA:      false,
+			ClientASN: 21928, ExternalASN: 21928,
+			ClientPingFrac: 0.10, OutsidePingFrac: 0.15,
+			InternalHopMs: 2.5, CoreMs: 2.5,
+			ClientNetOctet: 12, NATFirstOctet: 109, CFSecondOctet: 28, ExtFirstOctet: 69, RouterBaseOctet: 14,
+		},
+		{
+			Name: "verizon", DisplayName: "Verizon", Country: "US", Style: StyleTiered,
+			ClientCount: 64, EgressCount: 62,
+			ClientFacingCount: 8, ExternalCount: 8, ExternalSlash24s: 8, ResolverSites: 8,
+			Consistency: 1.0, PairEpoch: 0,
+			EgressChurnEpoch: 60 * time.Hour, NATChurnEpoch: 3 * time.Hour,
+			CDMA:      true,
+			ClientASN: 6167, ExternalASN: 22394,
+			ClientPingFrac: 0.05, OutsidePingFrac: 0.90,
+			InternalHopMs: 4, CoreMs: 2.5,
+			ClientNetOctet: 13, NATFirstOctet: 110, CFSecondOctet: 29, ExtFirstOctet: 70, RouterBaseOctet: 15,
+		},
+		{
+			Name: "sktelecom", DisplayName: "SK Telecom", Country: "KR", Style: StylePool,
+			ClientCount: 17, EgressCount: 8,
+			ClientFacingCount: 2, ExternalCount: 24, ExternalSlash24s: 1, ResolverSites: 1,
+			Consistency: 0.55, PairEpoch: 2 * time.Hour,
+			EgressChurnEpoch: 120 * time.Hour, NATChurnEpoch: 12 * time.Hour,
+			CDMA:      false,
+			ClientASN: 9644, ExternalASN: 9644,
+			ClientPingFrac: 1.0, OutsidePingFrac: 0.0,
+			CollocatedExternals: true,
+			InternalHopMs:       0.3, CoreMs: 2,
+			ClientNetOctet: 14, NATFirstOctet: 111, CFSecondOctet: 30, ExtFirstOctet: 101, RouterBaseOctet: 16,
+		},
+		{
+			Name: "lgu", DisplayName: "LG U+", Country: "KR", Style: StylePool,
+			ClientCount: 4, EgressCount: 8,
+			ClientFacingCount: 5, ExternalCount: 89, ExternalSlash24s: 2, ResolverSites: 2,
+			Consistency: 0.40, PairEpoch: 1 * time.Hour,
+			EgressChurnEpoch: 96 * time.Hour, NATChurnEpoch: 10 * time.Hour,
+			CDMA:      false,
+			ClientASN: 17858, ExternalASN: 17858,
+			ClientPingFrac: 1.0, OutsidePingFrac: 0.0,
+			InternalHopMs: 2, CoreMs: 2.5,
+			ClientNetOctet: 15, NATFirstOctet: 112, CFSecondOctet: 31, ExtFirstOctet: 103, RouterBaseOctet: 17,
+		},
+	}
+}
+
+// ProfileByName looks up a carrier profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// USCarriers and KRCarriers list carrier names per market.
+func USCarriers() []string { return []string{"att", "sprint", "tmobile", "verizon"} }
+
+// KRCarriers returns the South Korean carrier names.
+func KRCarriers() []string { return []string{"sktelecom", "lgu"} }

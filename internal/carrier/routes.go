@@ -1,0 +1,140 @@
+package carrier
+
+import (
+	"net/netip"
+	"time"
+
+	"cellcurtain/internal/geo"
+	"cellcurtain/internal/radio"
+	"cellcurtain/internal/stats"
+	"cellcurtain/internal/vnet"
+)
+
+// wanOneWay models one direction of a wide-area path between two points:
+// propagation over inflated fiber paths plus per-hop queueing jitter.
+func wanOneWay(a, b geo.Point) stats.Dist {
+	return stats.Shifted{
+		Base: stats.LogNormal{Med: 1200 * time.Microsecond, Sigma: 0.6, Floor: 200 * time.Microsecond},
+		Off:  geo.PropagationRTT(a, b) / 2,
+	}
+}
+
+// WANSegment builds a plain wide-area segment revealing hop (use the zero
+// Addr to keep it silent).
+func WANSegment(label string, a, b geo.Point, hop netip.Addr) vnet.Segment {
+	return vnet.Segment{Label: label, Latency: wanOneWay(a, b), HopAddr: hop}
+}
+
+// radioSegment is the client's access hop: one-way radio latency for the
+// currently active technology. Tunneled — never visible to traceroute.
+func (n *Network) radioSegment(c *Client) vnet.Segment {
+	model := radio.MustLookup(c.Tech)
+	return vnet.Segment{Label: "radio", Latency: model.HalfRTT(), Loss: 0.002}
+}
+
+// coreSegment carries traffic from the RAN through the packet core to an
+// egress: carrier-specific base latency plus geographic distance. All
+// carriers tunnel their cores (VPN/MPLS, §4.2), so the hop is silent.
+func (n *Network) coreSegment(c *Client, eg Egress) vnet.Segment {
+	base := stats.LogNormal{
+		Med:   time.Duration(n.CoreMs * float64(time.Millisecond)),
+		Sigma: 0.35, Floor: 500 * time.Microsecond,
+	}
+	return vnet.Segment{
+		Label:   "core",
+		Latency: stats.Shifted{Base: base, Off: geo.PropagationRTT(c.Loc, eg.City.Loc) / 2},
+	}
+}
+
+// intraSegment carries traffic between an egress and a resolver site
+// inside the carrier.
+func (n *Network) intraSegment(from geo.Point, to geo.Point) vnet.Segment {
+	return vnet.Segment{
+		Label: "intra",
+		Latency: stats.Shifted{
+			Base: stats.LogNormal{Med: 800 * time.Microsecond, Sigma: 0.4, Floor: 200 * time.Microsecond},
+			Off:  geo.PropagationRTT(from, to) / 2,
+		},
+	}
+}
+
+// RouteFromClient builds the route for traffic originating at one of the
+// carrier's clients. dstLoc is the destination's location (ignored for
+// in-carrier destinations).
+func (n *Network) RouteFromClient(c *Client, dst netip.Addr, dstLoc geo.Point, now time.Time) vnet.Route {
+	eg := n.Egresses[c.EgressAt(now)]
+	if n.IsClientFacing(dst) {
+		// Served by the anycast/local instance at the client's egress.
+		return vnet.NewRoute(n.radioSegment(c), n.coreSegment(c, eg))
+	}
+	if n.IsExternalResolver(dst) {
+		var extLoc geo.Point
+		for _, e := range n.Externals {
+			if e.Addr == dst {
+				extLoc = e.Loc
+				break
+			}
+		}
+		return vnet.NewRoute(
+			n.radioSegment(c),
+			n.coreSegment(c, eg),
+			n.intraSegment(eg.City.Loc, extLoc),
+		)
+	}
+	// Leaving the network: egress router is the last carrier-owned hop,
+	// the transit router the first outside hop (§5.2 extraction relies on
+	// exactly this pair), then the wide area.
+	return vnet.NewRoute(
+		n.radioSegment(c),
+		n.coreSegment(c, eg),
+		vnet.Segment{Label: "egress", Latency: stats.Constant{V: 150 * time.Microsecond}, HopAddr: eg.RouterAddr},
+		vnet.Segment{Label: "transit", Latency: stats.Constant{V: 400 * time.Microsecond}, HopAddr: eg.TransitAddr},
+		WANSegment("wan", eg.City.Loc, dstLoc, netip.Addr{}),
+	).WithNAT(c.NATAddrAt(now))
+}
+
+// RouteFromExternal builds the route for upstream queries issued by one
+// of the carrier's external resolvers.
+func (n *Network) RouteFromExternal(src netip.Addr, dstLoc geo.Point) (vnet.Route, bool) {
+	for i, e := range n.Externals {
+		if e.Addr == src {
+			eg := n.Egresses[e.Egress]
+			return vnet.NewRoute(
+				n.intraSegment(e.Loc, eg.City.Loc),
+				vnet.Segment{Label: "egress", Latency: stats.Constant{V: 150 * time.Microsecond}, HopAddr: eg.RouterAddr},
+				vnet.Segment{Label: "transit", Latency: stats.Constant{V: 400 * time.Microsecond}, HopAddr: eg.TransitAddr},
+				WANSegment("wan", n.siteCity[n.extSiteOf[i]].Loc, dstLoc, netip.Addr{}),
+			), true
+		}
+	}
+	return vnet.Route{}, false
+}
+
+// RouteInbound builds the route for probes arriving from the public
+// Internet toward a carrier-owned address. Service traffic and pings can
+// reach external resolvers (the endpoints' ping policies then decide who
+// answers, Table 4); everything else is dropped at the ingress, and no
+// traceroute ever penetrates past it (§4.4).
+func (n *Network) RouteInbound(srcLoc geo.Point, dst netip.Addr) vnet.Route {
+	ingress := n.Egresses[0]
+	if n.IsExternalResolver(dst) {
+		for _, e := range n.Externals {
+			if e.Addr == dst {
+				ingress = n.Egresses[e.Egress]
+				break
+			}
+		}
+		r := vnet.NewRoute(
+			WANSegment("wan", srcLoc, ingress.City.Loc, ingress.TransitAddr),
+			vnet.Segment{Label: "ingress", Latency: stats.Constant{V: 150 * time.Microsecond}, HopAddr: ingress.RouterAddr},
+			n.intraSegment(ingress.City.Loc, ingress.City.Loc),
+		)
+		return r.TracerouteOpaque(1)
+	}
+	r := vnet.NewRoute(
+		WANSegment("wan", srcLoc, ingress.City.Loc, ingress.TransitAddr),
+		vnet.Segment{Label: "ingress", Latency: stats.Constant{V: 150 * time.Microsecond}, HopAddr: ingress.RouterAddr},
+		vnet.Segment{Label: "core", Latency: stats.Constant{V: time.Millisecond}},
+	)
+	return r.Blocked(1)
+}

@@ -1,0 +1,167 @@
+// Package dataset defines the record schema of a measurement campaign —
+// the shape of the data the paper's volunteer devices reported — plus
+// JSONL persistence for offline analysis.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+)
+
+// ResolverKind identifies which resolver a measurement went through.
+type ResolverKind string
+
+// The three resolver kinds of §3.2.
+const (
+	KindLocal   ResolverKind = "local"
+	KindGoogle  ResolverKind = "google"
+	KindOpenDNS ResolverKind = "opendns"
+)
+
+// Kinds lists all resolver kinds in presentation order.
+func Kinds() []ResolverKind { return []ResolverKind{KindLocal, KindGoogle, KindOpenDNS} }
+
+// Resolution is one domain resolution pair (two back-to-back lookups,
+// §4.3's cache experiment).
+type Resolution struct {
+	Domain string       `json:"domain"`
+	Kind   ResolverKind `json:"kind"`
+	Server netip.Addr   `json:"server"`
+	// RTT1 and RTT2 are the first and immediate second lookup times.
+	RTT1    time.Duration `json:"rtt1"`
+	RTT2    time.Duration `json:"rtt2"`
+	OK      bool          `json:"ok"`
+	Answers []netip.Addr  `json:"answers,omitempty"`
+	CNAME   string        `json:"cname,omitempty"`
+	TTL     uint32        `json:"ttl,omitempty"`
+	// Radio is the technology active during the lookup (Fig 3).
+	Radio string `json:"radio"`
+}
+
+// Discovery is one whoami resolver-identity discovery.
+type Discovery struct {
+	Kind ResolverKind `json:"kind"`
+	// Queried is the resolver address the query was sent to (the
+	// configured address for local DNS, the VIP for public DNS).
+	Queried netip.Addr `json:"queried"`
+	// External is the resolver identity the authoritative server saw.
+	External netip.Addr `json:"external"`
+	OK       bool       `json:"ok"`
+}
+
+// ResolverProbe is a ping toward resolver infrastructure.
+type ResolverProbe struct {
+	Kind ResolverKind `json:"kind"`
+	// Which identifies the target role: "configured", "vip" or "external".
+	Which  string        `json:"which"`
+	Target netip.Addr    `json:"target"`
+	RTT    time.Duration `json:"rtt"`
+	OK     bool          `json:"ok"`
+}
+
+// ReplicaProbe measures one content replica.
+type ReplicaProbe struct {
+	Domain  string        `json:"domain"`
+	Kind    ResolverKind  `json:"kind"`
+	Replica netip.Addr    `json:"replica"`
+	PingRTT time.Duration `json:"ping_rtt"`
+	PingOK  bool          `json:"ping_ok"`
+	TTFB    time.Duration `json:"ttfb"`
+	HTTPOK  bool          `json:"http_ok"`
+}
+
+// Experiment is one full run of the §3.2 script on one device.
+type Experiment struct {
+	Seq      int       `json:"seq"`
+	ClientID string    `json:"client_id"`
+	Carrier  string    `json:"carrier"`
+	Country  string    `json:"country"`
+	Time     time.Time `json:"time"`
+	// Lat/Lon is the coarse client location, rounded as in the paper.
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+	// Radio is the dominant technology during the experiment.
+	Radio string `json:"radio"`
+	// NATAddr is the public identity the device currently has.
+	NATAddr netip.Addr `json:"nat_addr"`
+	// Configured is the device's provisioned DNS resolver.
+	Configured netip.Addr `json:"configured"`
+
+	Resolutions    []Resolution    `json:"resolutions"`
+	Discoveries    []Discovery     `json:"discoveries"`
+	ResolverProbes []ResolverProbe `json:"resolver_probes"`
+	ReplicaProbes  []ReplicaProbe  `json:"replica_probes"`
+	// EgressTrace is the responding hops of one traceroute toward a
+	// replica, for §5.2 egress extraction.
+	EgressTrace []netip.Addr `json:"egress_trace,omitempty"`
+}
+
+// DiscoveredExternal returns the whoami-observed external resolver for a
+// kind, if the discovery succeeded.
+func (e *Experiment) DiscoveredExternal(kind ResolverKind) (netip.Addr, bool) {
+	for _, d := range e.Discoveries {
+		if d.Kind == kind && d.OK {
+			return d.External, true
+		}
+	}
+	return netip.Addr{}, false
+}
+
+// Dataset is an in-memory campaign result.
+type Dataset struct {
+	Experiments []*Experiment
+}
+
+// Add appends one experiment.
+func (d *Dataset) Add(e *Experiment) { d.Experiments = append(d.Experiments, e) }
+
+// Len returns the experiment count.
+func (d *Dataset) Len() int { return len(d.Experiments) }
+
+// ByCarrier splits experiments per carrier, preserving order.
+func (d *Dataset) ByCarrier() map[string][]*Experiment {
+	out := make(map[string][]*Experiment)
+	for _, e := range d.Experiments {
+		out[e.Carrier] = append(out[e.Carrier], e)
+	}
+	return out
+}
+
+// WriteJSONL streams the dataset as one JSON object per line.
+func (d *Dataset) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range d.Experiments {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("dataset: encode experiment %d: %w", e.Seq, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads a dataset written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Experiment
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		d.Add(&e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

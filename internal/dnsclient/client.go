@@ -1,0 +1,136 @@
+// Package dnsclient implements a DNS stub-resolver client: query
+// construction, transport with retries and timeouts, and response
+// validation.
+//
+// The client is transport-agnostic: the same logic drives real UDP
+// sockets (cmd/dnsprobe) and the simulated fabric (internal/probe), so the
+// measurement pipeline is identical in both settings.
+package dnsclient
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"cellcurtain/internal/dnswire"
+)
+
+// Errors returned by the client.
+var (
+	ErrIDMismatch       = errors.New("dnsclient: response ID does not match query")
+	ErrNotResponse      = errors.New("dnsclient: message is not a response")
+	ErrNoTransport      = errors.New("dnsclient: no transport configured")
+	ErrAllRetriesFailed = errors.New("dnsclient: all retries failed")
+)
+
+// Transport moves one DNS datagram to a server and returns the reply and
+// the observed round-trip time.
+type Transport interface {
+	Exchange(server netip.Addr, payload []byte) (resp []byte, rtt time.Duration, err error)
+}
+
+// Client issues DNS queries through a Transport.
+type Client struct {
+	transport Transport
+	// tcp, when set, is used to retry queries whose UDP responses arrive
+	// truncated (TC bit, RFC 1035 §4.2.2).
+	tcp Transport
+	// Retries is the number of attempts per query (>= 1).
+	Retries int
+	// nextID produces query IDs; deterministic in simulation, random-ish
+	// otherwise.
+	nextID func() uint16
+}
+
+// SetTCPFallback installs the transport used when responses arrive
+// truncated.
+func (c *Client) SetTCPFallback(t Transport) { c.tcp = t }
+
+// New creates a client over the given transport. idSource may be nil, in
+// which case a simple counter is used (fine for both simulation and the
+// measurement tools, which validate IDs on receipt).
+func New(t Transport, idSource func() uint16) *Client {
+	if idSource == nil {
+		var ctr uint16
+		idSource = func() uint16 { ctr++; return ctr }
+	}
+	return &Client{transport: t, Retries: 2, nextID: idSource}
+}
+
+// Result is the outcome of one resolution.
+type Result struct {
+	// Msg is the validated response message.
+	Msg *dnswire.Message
+	// RTT is the observed resolution time of the successful attempt.
+	RTT time.Duration
+	// Attempts is how many sends it took.
+	Attempts int
+	// Server is the resolver queried.
+	Server netip.Addr
+}
+
+// IPs returns the answer-section addresses.
+func (r *Result) IPs() []netip.Addr {
+	if r.Msg == nil {
+		return nil
+	}
+	return r.Msg.AnswerIPs()
+}
+
+// Query resolves (name, type) against server. It retries on transport
+// errors, validates the response ID and QR bit, and returns the parsed
+// message along with the RTT of the successful attempt.
+func (c *Client) Query(server netip.Addr, name dnswire.Name, t dnswire.Type) (*Result, error) {
+	if c.transport == nil {
+		return nil, ErrNoTransport
+	}
+	retries := c.Retries
+	if retries < 1 {
+		retries = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= retries; attempt++ {
+		q := dnswire.NewQuery(c.nextID(), name, t)
+		payload, err := q.Pack()
+		if err != nil {
+			return nil, fmt.Errorf("dnsclient: pack: %w", err)
+		}
+		raw, rtt, err := c.transport.Exchange(server, payload)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		msg, err := dnswire.Parse(raw)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if msg.Header.ID != q.Header.ID {
+			lastErr = ErrIDMismatch
+			continue
+		}
+		if !msg.Header.Response {
+			lastErr = ErrNotResponse
+			continue
+		}
+		if msg.Header.Truncated && c.tcp != nil {
+			tcpRaw, tcpRTT, err := c.tcp.Exchange(server, payload)
+			if err == nil {
+				if full, perr := dnswire.Parse(tcpRaw); perr == nil &&
+					full.Header.ID == q.Header.ID && full.Header.Response {
+					return &Result{Msg: full, RTT: rtt + tcpRTT, Attempts: attempt, Server: server}, nil
+				}
+			}
+			// TCP retry failed; fall through with the truncated answer,
+			// which is still a valid (if partial) response.
+		}
+		return &Result{Msg: msg, RTT: rtt, Attempts: attempt, Server: server}, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrAllRetriesFailed, lastErr)
+}
+
+// QueryA resolves A records and returns the full result.
+func (c *Client) QueryA(server netip.Addr, name dnswire.Name) (*Result, error) {
+	return c.Query(server, name, dnswire.TypeA)
+}

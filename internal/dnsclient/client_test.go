@@ -1,0 +1,167 @@
+package dnsclient
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dnswire"
+)
+
+// scriptedTransport replays canned behaviours per attempt.
+type scriptedTransport struct {
+	steps []func(payload []byte) ([]byte, time.Duration, error)
+	calls int
+}
+
+func (s *scriptedTransport) Exchange(_ netip.Addr, payload []byte) ([]byte, time.Duration, error) {
+	if s.calls >= len(s.steps) {
+		return nil, 0, errors.New("no more scripted steps")
+	}
+	step := s.steps[s.calls]
+	s.calls++
+	return step(payload)
+}
+
+func answer(payload []byte, ip string) []byte {
+	q, err := dnswire.Parse(payload)
+	if err != nil {
+		panic(err)
+	}
+	r := q.Reply()
+	r.Answers = []dnswire.Record{{
+		Name: q.Questions[0].Name, Class: dnswire.ClassIN, TTL: 30,
+		Data: dnswire.A{Addr: netip.MustParseAddr(ip)},
+	}}
+	b, err := r.Pack()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+var server = netip.MustParseAddr("192.0.2.53")
+
+func TestQuerySuccess(t *testing.T) {
+	tr := &scriptedTransport{steps: []func([]byte) ([]byte, time.Duration, error){
+		func(p []byte) ([]byte, time.Duration, error) {
+			return answer(p, "10.1.1.1"), 42 * time.Millisecond, nil
+		},
+	}}
+	c := New(tr, nil)
+	res, err := c.QueryA(server, "www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RTT != 42*time.Millisecond || res.Attempts != 1 || res.Server != server {
+		t.Fatalf("result %+v", res)
+	}
+	if ips := res.IPs(); len(ips) != 1 || ips[0].String() != "10.1.1.1" {
+		t.Fatalf("IPs = %v", ips)
+	}
+}
+
+func TestQueryRetriesOnTransportError(t *testing.T) {
+	tr := &scriptedTransport{steps: []func([]byte) ([]byte, time.Duration, error){
+		func(p []byte) ([]byte, time.Duration, error) { return nil, 0, errors.New("drop") },
+		func(p []byte) ([]byte, time.Duration, error) {
+			return answer(p, "10.2.2.2"), 10 * time.Millisecond, nil
+		},
+	}}
+	c := New(tr, nil)
+	res, err := c.QueryA(server, "www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Attempts)
+	}
+}
+
+func TestQueryExhaustsRetries(t *testing.T) {
+	drop := func(p []byte) ([]byte, time.Duration, error) { return nil, 0, errors.New("drop") }
+	tr := &scriptedTransport{steps: []func([]byte) ([]byte, time.Duration, error){drop, drop, drop}}
+	c := New(tr, nil)
+	c.Retries = 3
+	_, err := c.QueryA(server, "www.example.com")
+	if !errors.Is(err, ErrAllRetriesFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	if tr.calls != 3 {
+		t.Fatalf("calls = %d, want 3", tr.calls)
+	}
+}
+
+func TestQueryRejectsIDMismatch(t *testing.T) {
+	tr := &scriptedTransport{steps: []func([]byte) ([]byte, time.Duration, error){
+		func(p []byte) ([]byte, time.Duration, error) {
+			b := answer(p, "10.3.3.3")
+			b[0] ^= 0xFF // corrupt ID
+			return b, 0, nil
+		},
+	}}
+	c := New(tr, nil)
+	c.Retries = 1
+	_, err := c.QueryA(server, "www.example.com")
+	if !errors.Is(err, ErrAllRetriesFailed) {
+		t.Fatalf("err = %v, want retry exhaustion from ID mismatch", err)
+	}
+}
+
+func TestQueryRejectsNonResponse(t *testing.T) {
+	tr := &scriptedTransport{steps: []func([]byte) ([]byte, time.Duration, error){
+		func(p []byte) ([]byte, time.Duration, error) { return p, 0, nil }, // echoes the query
+	}}
+	c := New(tr, nil)
+	c.Retries = 1
+	if _, err := c.QueryA(server, "www.example.com"); err == nil {
+		t.Fatal("echoed query must be rejected")
+	}
+}
+
+func TestQueryRejectsGarbage(t *testing.T) {
+	tr := &scriptedTransport{steps: []func([]byte) ([]byte, time.Duration, error){
+		func(p []byte) ([]byte, time.Duration, error) { return []byte{1, 2, 3}, 0, nil },
+	}}
+	c := New(tr, nil)
+	c.Retries = 1
+	if _, err := c.QueryA(server, "www.example.com"); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestNoTransport(t *testing.T) {
+	c := New(nil, nil)
+	if _, err := c.QueryA(server, "x"); !errors.Is(err, ErrNoTransport) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIDsAdvance(t *testing.T) {
+	var ids []uint16
+	tr := &scriptedTransport{}
+	for i := 0; i < 3; i++ {
+		tr.steps = append(tr.steps, func(p []byte) ([]byte, time.Duration, error) {
+			q, _ := dnswire.Parse(p)
+			ids = append(ids, q.Header.ID)
+			return answer(p, "10.0.0.1"), 0, nil
+		})
+	}
+	c := New(tr, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := c.QueryA(server, "x.example"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ids[0] == ids[1] && ids[1] == ids[2] {
+		t.Fatal("query IDs must not be constant")
+	}
+}
+
+func TestResultIPsNilMsg(t *testing.T) {
+	r := &Result{}
+	if r.IPs() != nil {
+		t.Fatal("nil message should yield nil IPs")
+	}
+}

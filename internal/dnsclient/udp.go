@@ -1,0 +1,53 @@
+package dnsclient
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+)
+
+// UDPTransport exchanges DNS datagrams over real UDP sockets. It is used
+// by the standalone measurement tools; the simulation uses a fabric-backed
+// transport instead.
+type UDPTransport struct {
+	// Timeout bounds each exchange (default 2 s).
+	Timeout time.Duration
+	// Port is the destination port (default 53).
+	Port uint16
+	// LocalAddr optionally pins the local address.
+	LocalAddr *net.UDPAddr
+}
+
+// Exchange implements Transport.
+func (u *UDPTransport) Exchange(server netip.Addr, payload []byte) ([]byte, time.Duration, error) {
+	timeout := u.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	port := u.Port
+	if port == 0 {
+		port = 53
+	}
+	raddr := net.UDPAddrFromAddrPort(netip.AddrPortFrom(server, port))
+	conn, err := net.DialUDP("udp", u.LocalAddr, raddr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dnsclient: dial %s: %w", raddr, err)
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	if err := conn.SetDeadline(start.Add(timeout)); err != nil {
+		return nil, 0, err
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return nil, 0, fmt.Errorf("dnsclient: send: %w", err)
+	}
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	rtt := time.Since(start)
+	if err != nil {
+		return nil, rtt, fmt.Errorf("dnsclient: recv: %w", err)
+	}
+	return buf[:n], rtt, nil
+}

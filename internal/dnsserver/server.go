@@ -1,0 +1,141 @@
+// Package dnsserver is a minimal authoritative/recursive DNS server
+// framework over real UDP sockets. The whoami server (cmd/adnsd) and test
+// fixtures are built on it; simulated resolvers speak the same dnswire
+// bytes through vnet handlers instead.
+package dnsserver
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"sync"
+
+	"cellcurtain/internal/dnswire"
+)
+
+// Handler answers one DNS query. remote is the client (or forwarding
+// resolver) address as seen by the server — the whoami trick depends on it.
+type Handler interface {
+	ServeDNS(remote netip.AddrPort, query *dnswire.Message) *dnswire.Message
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(remote netip.AddrPort, query *dnswire.Message) *dnswire.Message
+
+// ServeDNS implements Handler.
+func (f HandlerFunc) ServeDNS(remote netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+	return f(remote, q)
+}
+
+// Server serves DNS over UDP.
+type Server struct {
+	Handler Handler
+	// Logf, when set, receives per-query diagnostics.
+	Logf func(format string, args ...any)
+
+	mu   sync.Mutex
+	conn *net.UDPConn
+	done chan struct{}
+}
+
+// ListenAndServe binds addr (e.g. "127.0.0.1:5353") and serves until
+// Shutdown. It returns once the listener is closed.
+func (s *Server) ListenAndServe(addr string) error {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("dnsserver: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return fmt.Errorf("dnsserver: listen %s: %w", addr, err)
+	}
+	return s.Serve(conn)
+}
+
+// Serve runs the read loop on an existing connection. The caller owns the
+// connection until Serve is called; Shutdown closes it.
+func (s *Server) Serve(conn *net.UDPConn) error {
+	s.mu.Lock()
+	s.conn = conn
+	s.done = make(chan struct{})
+	done := s.done
+	s.mu.Unlock()
+	defer close(done)
+
+	buf := make([]byte, 4096)
+	for {
+		n, raddr, err := conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			select {
+			case <-done:
+			default:
+			}
+			return err
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		go s.handle(conn, raddr, pkt)
+	}
+}
+
+// Addr returns the bound address, or the zero AddrPort before Serve.
+func (s *Server) Addr() netip.AddrPort {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return netip.AddrPort{}
+	}
+	return s.conn.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+// Shutdown closes the listener, unblocking Serve.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		s.conn.Close()
+	}
+}
+
+func (s *Server) handle(conn *net.UDPConn, raddr netip.AddrPort, pkt []byte) {
+	logf := s.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	query, err := dnswire.Parse(pkt)
+	if err != nil {
+		logf("dnsserver: %s: unparseable query: %v", raddr, err)
+		return
+	}
+	if query.Header.Response {
+		return // ignore stray responses
+	}
+	resp := s.Handler.ServeDNS(raddr, query)
+	if resp == nil {
+		resp = query.Reply()
+		resp.Header.RCode = dnswire.RCodeRefused
+	}
+	out, err := resp.Pack()
+	if err != nil {
+		logf("dnsserver: %s: pack response: %v", raddr, err)
+		resp = query.Reply()
+		resp.Header.RCode = dnswire.RCodeServFail
+		if out, err = resp.Pack(); err != nil {
+			return
+		}
+	}
+	if out, err = TruncateForUDP(query, resp, out); err != nil {
+		logf("dnsserver: %s: truncate: %v", raddr, err)
+		return
+	}
+	if _, err := conn.WriteToUDPAddrPort(out, raddr); err != nil {
+		logf("dnsserver: %s: send: %v", raddr, err)
+	}
+}
+
+// LogTo returns a Logf implementation writing to the standard logger,
+// convenient for the cmd/ tools.
+func LogTo(l *log.Logger) func(string, ...any) {
+	return func(format string, args ...any) { l.Printf(format, args...) }
+}

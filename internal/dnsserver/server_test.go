@@ -1,0 +1,133 @@
+package dnsserver
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dnsclient"
+	"cellcurtain/internal/dnswire"
+)
+
+// startServer runs a server with the given handler on an ephemeral
+// loopback port and returns its address and a shutdown function.
+func startServer(t *testing.T, h Handler) (netip.AddrPort, func()) {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := &Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(conn) }()
+	addr := conn.LocalAddr().(*net.UDPAddr).AddrPort()
+	return addr, func() {
+		s.Shutdown()
+		select {
+		case <-errc:
+		case <-time.After(time.Second):
+			t.Error("server did not stop")
+		}
+	}
+}
+
+// echoA answers every A query with 127.1.2.3 and records the remote addr
+// in a TXT additional — the essence of the whoami technique.
+var echoA = HandlerFunc(func(remote netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+	r := q.Reply()
+	r.Header.Authoritative = true
+	r.Answers = []dnswire.Record{{
+		Name: q.Questions[0].Name, Class: dnswire.ClassIN, TTL: 0,
+		Data: dnswire.A{Addr: netip.MustParseAddr("127.1.2.3")},
+	}}
+	r.Additionals = []dnswire.Record{{
+		Name: q.Questions[0].Name, Class: dnswire.ClassIN, TTL: 0,
+		Data: dnswire.TXT{Strings: []string{"remote=" + remote.Addr().String()}},
+	}}
+	return r
+})
+
+func TestServeRealUDP(t *testing.T) {
+	addr, stop := startServer(t, echoA)
+	defer stop()
+
+	c := dnsclient.New(&dnsclient.UDPTransport{Port: addr.Port(), Timeout: 2 * time.Second}, nil)
+	res, err := c.QueryA(addr.Addr(), "probe.whoami.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ips := res.IPs(); len(ips) != 1 || ips[0].String() != "127.1.2.3" {
+		t.Fatalf("IPs = %v", ips)
+	}
+	txt, ok := res.Msg.Additionals[0].Data.(dnswire.TXT)
+	if !ok || len(txt.Strings) != 1 || txt.Strings[0][:7] != "remote=" {
+		t.Fatalf("whoami additional missing: %+v", res.Msg.Additionals)
+	}
+	if res.RTT <= 0 {
+		t.Fatal("RTT must be positive on real sockets")
+	}
+}
+
+func TestServeConcurrentQueries(t *testing.T) {
+	addr, stop := startServer(t, echoA)
+	defer stop()
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			c := dnsclient.New(&dnsclient.UDPTransport{Port: addr.Port(), Timeout: 2 * time.Second}, nil)
+			_, err := c.QueryA(addr.Addr(), "concurrent.example")
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNilHandlerResponseBecomesRefused(t *testing.T) {
+	h := HandlerFunc(func(netip.AddrPort, *dnswire.Message) *dnswire.Message { return nil })
+	addr, stop := startServer(t, h)
+	defer stop()
+	tr := &dnsclient.UDPTransport{Port: addr.Port(), Timeout: 2 * time.Second}
+	c := dnsclient.New(tr, nil)
+	res, err := c.QueryA(addr.Addr(), "nothing.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Msg.Header.RCode != dnswire.RCodeRefused {
+		t.Fatalf("rcode = %v, want REFUSED", res.Msg.Header.RCode)
+	}
+}
+
+func TestGarbageIgnored(t *testing.T) {
+	addr, stop := startServer(t, echoA)
+	defer stop()
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 64)
+	if n, err := conn.Read(buf); err == nil {
+		t.Fatalf("server answered garbage with %d bytes", n)
+	}
+	// Server must still be alive for valid queries.
+	c := dnsclient.New(&dnsclient.UDPTransport{Port: addr.Port(), Timeout: 2 * time.Second}, nil)
+	if _, err := c.QueryA(addr.Addr(), "alive.example"); err != nil {
+		t.Fatalf("server dead after garbage: %v", err)
+	}
+}
+
+func TestAddrBeforeServe(t *testing.T) {
+	s := &Server{Handler: echoA}
+	if s.Addr().IsValid() {
+		t.Fatal("Addr before Serve must be zero")
+	}
+}

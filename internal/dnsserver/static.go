@@ -1,0 +1,78 @@
+package dnsserver
+
+import (
+	"net/netip"
+	"strings"
+
+	"cellcurtain/internal/dnswire"
+)
+
+// Static is an authoritative handler over a fixed record set, with CNAME
+// chasing within the set. It backs cmd/adnsd's -records flag and test
+// fixtures.
+type Static struct {
+	byName map[string][]dnswire.Record
+}
+
+// NewStatic builds a static handler from parsed records.
+func NewStatic(records []dnswire.Record) *Static {
+	s := &Static{byName: map[string][]dnswire.Record{}}
+	for _, rr := range records {
+		key := strings.ToLower(string(rr.Name))
+		s.byName[key] = append(s.byName[key], rr)
+	}
+	return s
+}
+
+// Len returns the number of names served.
+func (s *Static) Len() int { return len(s.byName) }
+
+// ServeDNS implements Handler.
+func (s *Static) ServeDNS(_ netip.AddrPort, query *dnswire.Message) *dnswire.Message {
+	resp := query.Reply()
+	resp.Header.Authoritative = true
+	if len(query.Questions) != 1 {
+		resp.Header.RCode = dnswire.RCodeFormErr
+		return resp
+	}
+	q := query.Questions[0]
+	name := strings.ToLower(string(q.Name))
+	// Chase CNAMEs within the record set (bounded against loops).
+	for depth := 0; depth < 8; depth++ {
+		rrs, ok := s.byName[name]
+		if !ok {
+			if depth == 0 {
+				resp.Header.RCode = dnswire.RCodeNXDomain
+			}
+			return resp
+		}
+		var cname *dnswire.CNAME
+		for _, rr := range rrs {
+			switch {
+			case rr.Data.Type() == q.Type || q.Type == dnswire.TypeANY:
+				resp.Answers = append(resp.Answers, rr)
+			case rr.Data.Type() == dnswire.TypeCNAME:
+				c := rr.Data.(dnswire.CNAME)
+				cname = &c
+				resp.Answers = append(resp.Answers, rr)
+			}
+		}
+		if cname == nil || q.Type == dnswire.TypeCNAME {
+			return resp
+		}
+		name = strings.ToLower(string(cname.Target))
+	}
+	return resp
+}
+
+// Merge layers another handler under a suffix: queries for names under
+// zone go to primary, everything else to fallback. adnsd uses it to
+// serve the whoami zone alongside static records.
+func Merge(zone dnswire.Name, primary, fallback Handler) Handler {
+	return HandlerFunc(func(remote netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+		if len(q.Questions) == 1 && q.Questions[0].Name.HasSuffix(zone) {
+			return primary.ServeDNS(remote, q)
+		}
+		return fallback.ServeDNS(remote, q)
+	})
+}

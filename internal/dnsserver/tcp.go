@@ -1,0 +1,155 @@
+package dnsserver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"cellcurtain/internal/dnswire"
+)
+
+// maxUDPPayload is the classic pre-EDNS UDP limit; larger responses are
+// truncated on UDP (TC bit) so clients retry over TCP.
+const maxUDPPayload = 512
+
+// TCPServer serves DNS over TCP with RFC 1035 §4.2.2 framing, sharing a
+// Handler with the UDP Server.
+type TCPServer struct {
+	Handler Handler
+	// Logf, when set, receives per-connection diagnostics.
+	Logf func(format string, args ...any)
+	// IdleTimeout bounds how long a connection may sit between queries
+	// (default 10 s).
+	IdleTimeout time.Duration
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *TCPServer) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dnsserver: tcp listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve runs the accept loop on an existing listener.
+func (s *TCPServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// Addr returns the bound address, or the zero AddrPort before Serve.
+func (s *TCPServer) Addr() netip.AddrPort {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return netip.AddrPort{}
+	}
+	if ta, ok := s.ln.Addr().(*net.TCPAddr); ok {
+		return ta.AddrPort()
+	}
+	return netip.AddrPort{}
+}
+
+// Shutdown closes the listener.
+func (s *TCPServer) Shutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	logf := s.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	idle := s.IdleTimeout
+	if idle <= 0 {
+		idle = 10 * time.Second
+	}
+	remote := netip.AddrPort{}
+	if ta, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		remote = ta.AddrPort()
+	}
+	var lenBuf [2]byte
+	for {
+		conn.SetDeadline(time.Now().Add(idle))
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return // EOF or timeout: client is done
+		}
+		msg := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+		if _, err := io.ReadFull(conn, msg); err != nil {
+			logf("dnsserver: tcp %s: short read: %v", remote, err)
+			return
+		}
+		query, err := dnswire.Parse(msg)
+		if err != nil {
+			logf("dnsserver: tcp %s: unparseable query: %v", remote, err)
+			return
+		}
+		if query.Header.Response {
+			continue
+		}
+		resp := s.Handler.ServeDNS(remote, query)
+		if resp == nil {
+			resp = query.Reply()
+			resp.Header.RCode = dnswire.RCodeRefused
+		}
+		out, err := resp.Pack()
+		if err != nil || len(out) > 0xFFFF {
+			logf("dnsserver: tcp %s: pack: %v", remote, err)
+			resp = query.Reply()
+			resp.Header.RCode = dnswire.RCodeServFail
+			if out, err = resp.Pack(); err != nil {
+				return
+			}
+		}
+		framed := make([]byte, 2+len(out))
+		binary.BigEndian.PutUint16(framed, uint16(len(out)))
+		copy(framed[2:], out)
+		if _, err := conn.Write(framed); err != nil {
+			logf("dnsserver: tcp %s: send: %v", remote, err)
+			return
+		}
+	}
+}
+
+// TruncateForUDP enforces the UDP payload limit on a response: when the
+// packed message exceeds the client's advertised limit (or 512 bytes
+// without EDNS), the answer sections are dropped and the TC bit set,
+// telling the client to retry over TCP.
+func TruncateForUDP(query, resp *dnswire.Message, packed []byte) ([]byte, error) {
+	limit := maxUDPPayload
+	for _, rr := range query.Additionals {
+		if opt, ok := rr.Data.(dnswire.OPT); ok && int(opt.UDPSize) > limit {
+			limit = int(opt.UDPSize)
+		}
+	}
+	if len(packed) <= limit {
+		return packed, nil
+	}
+	trunc := resp.Reply() // fresh skeleton with the question echoed
+	trunc.Header = resp.Header
+	trunc.Header.Truncated = true
+	trunc.Answers, trunc.Authorities, trunc.Additionals = nil, nil, nil
+	trunc.Questions = resp.Questions
+	return trunc.Pack()
+}

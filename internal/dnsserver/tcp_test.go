@@ -1,0 +1,205 @@
+package dnsserver
+
+import (
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dnsclient"
+	"cellcurtain/internal/dnswire"
+)
+
+// bigTXT answers every query with enough TXT data to exceed 512 bytes.
+var bigTXT = HandlerFunc(func(remote netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+	r := q.Reply()
+	r.Header.Authoritative = true
+	for i := 0; i < 4; i++ {
+		r.Answers = append(r.Answers, dnswire.Record{
+			Name: q.Questions[0].Name, Class: dnswire.ClassIN, TTL: 60,
+			Data: dnswire.TXT{Strings: []string{strings.Repeat("x", 200)}},
+		})
+	}
+	return r
+})
+
+func startTCPServer(t *testing.T, h Handler) (netip.AddrPort, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &TCPServer{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(ln) }()
+	addr := ln.Addr().(*net.TCPAddr).AddrPort()
+	return addr, func() {
+		s.Shutdown()
+		select {
+		case <-errc:
+		case <-time.After(time.Second):
+			t.Error("tcp server did not stop")
+		}
+	}
+}
+
+func TestTCPServeBasic(t *testing.T) {
+	addr, stop := startTCPServer(t, echoA)
+	defer stop()
+	tr := &dnsclient.TCPTransport{Port: addr.Port(), Timeout: 2 * time.Second}
+	c := dnsclient.New(tr, nil)
+	res, err := c.QueryA(addr.Addr(), "tcp.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ips := res.IPs(); len(ips) != 1 || ips[0].String() != "127.1.2.3" {
+		t.Fatalf("IPs = %v", ips)
+	}
+}
+
+func TestTCPMultipleQueriesOneConnection(t *testing.T) {
+	// The transport dials per exchange, so exercise pipelining manually.
+	addr, stop := startTCPServer(t, echoA)
+	defer stop()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 3; i++ {
+		q := dnswire.NewQuery(uint16(100+i), "multi.example", dnswire.TypeA)
+		payload, _ := q.Pack()
+		framed := append([]byte{byte(len(payload) >> 8), byte(len(payload))}, payload...)
+		if _, err := conn.Write(framed); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		var lenBuf [2]byte
+		if _, err := readFull(conn, lenBuf[:]); err != nil {
+			t.Fatal(err)
+		}
+		resp := make([]byte, int(lenBuf[0])<<8|int(lenBuf[1]))
+		if _, err := readFull(conn, resp); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := dnswire.Parse(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Header.ID != uint16(100+i) {
+			t.Fatalf("query %d: id %d", i, msg.Header.ID)
+		}
+	}
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func TestUDPTruncationAndTCPFallback(t *testing.T) {
+	// One handler behind both transports.
+	udpAddr, stopUDP := startServer(t, bigTXT)
+	defer stopUDP()
+	tcpAddr, stopTCP := startTCPServer(t, bigTXT)
+	defer stopTCP()
+
+	// UDP-only client sees a truncated, answerless response.
+	udpOnly := dnsclient.New(&dnsclient.UDPTransport{Port: udpAddr.Port(), Timeout: 2 * time.Second}, nil)
+	res, err := udpOnly.Query(udpAddr.Addr(), "big.example", dnswire.TypeTXT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Msg.Header.Truncated {
+		t.Fatal("oversized UDP response must be truncated")
+	}
+	if len(res.Msg.Answers) != 0 {
+		t.Fatal("truncated response should carry no answers")
+	}
+
+	// With TCP fallback, the client retries and gets the full answer.
+	full := dnsclient.New(&dnsclient.UDPTransport{Port: udpAddr.Port(), Timeout: 2 * time.Second}, nil)
+	full.SetTCPFallback(&dnsclient.TCPTransport{Port: tcpAddr.Port(), Timeout: 2 * time.Second})
+	res, err = full.Query(udpAddr.Addr(), "big.example", dnswire.TypeTXT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Msg.Header.Truncated {
+		t.Fatal("fallback response must not be truncated")
+	}
+	if len(res.Msg.Answers) != 4 {
+		t.Fatalf("fallback answers = %d, want 4", len(res.Msg.Answers))
+	}
+}
+
+func TestEDNSRaisesUDPLimit(t *testing.T) {
+	udpAddr, stop := startServer(t, bigTXT)
+	defer stop()
+	// Hand-roll a query advertising a 4096-byte UDP payload.
+	q := dnswire.NewQuery(9, "edns.example", dnswire.TypeTXT)
+	q.Additionals = []dnswire.Record{{Name: "", Class: dnswire.ClassIN,
+		Data: dnswire.OPT{UDPSize: 4096}}}
+	payload, _ := q.Pack()
+	conn, err := net.Dial("udp", udpAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := dnswire.Parse(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Header.Truncated || len(msg.Answers) != 4 {
+		t.Fatalf("EDNS-sized response should be complete: tc=%v answers=%d",
+			msg.Header.Truncated, len(msg.Answers))
+	}
+}
+
+func TestTCPGarbageClosesConnection(t *testing.T) {
+	addr, stop := startTCPServer(t, echoA)
+	defer stop()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Length prefix promising 4 bytes of garbage.
+	if _, err := conn.Write([]byte{0, 4, 0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server should close the connection on garbage")
+	}
+	// Server still serves new connections.
+	tr := &dnsclient.TCPTransport{Port: addr.Port(), Timeout: 2 * time.Second}
+	c := dnsclient.New(tr, nil)
+	if _, err := c.QueryA(addr.Addr(), "alive.example"); err != nil {
+		t.Fatalf("server dead after garbage: %v", err)
+	}
+}
+
+func TestTCPAddrBeforeServe(t *testing.T) {
+	s := &TCPServer{Handler: echoA}
+	if s.Addr().IsValid() {
+		t.Fatal("Addr before Serve must be zero")
+	}
+}

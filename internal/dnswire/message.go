@@ -1,0 +1,411 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Record is one resource record in an answer, authority or additional
+// section.
+type Record struct {
+	Name  Name
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// String implements fmt.Stringer.
+func (r Record) String() string {
+	return fmt.Sprintf("%s %d %s %s %s", r.Name, r.TTL, r.Class, r.Data.Type(), r.Data)
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header      Header
+	Questions   []Question
+	Answers     []Record
+	Authorities []Record
+	Additionals []Record
+}
+
+// Errors returned by message parsing.
+var (
+	ErrHeaderTruncated = errors.New("dnswire: truncated header")
+	ErrSectionCount    = errors.New("dnswire: section count exceeds message size")
+	ErrTrailingBytes   = errors.New("dnswire: trailing bytes after message")
+)
+
+const headerLen = 12
+
+// NewQuery constructs a recursion-desired query for (name, type).
+func NewQuery(id uint16, name Name, t Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: t, Class: ClassIN}},
+	}
+}
+
+// Reply constructs a response message skeleton for a query, echoing its ID,
+// question and recursion-desired bit.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		Header: Header{
+			ID:               m.Header.ID,
+			Response:         true,
+			Opcode:           m.Header.Opcode,
+			RecursionDesired: m.Header.RecursionDesired,
+		},
+	}
+	r.Questions = append(r.Questions, m.Questions...)
+	return r
+}
+
+// packFlags encodes header flag bits into the 16-bit flags word.
+func (h Header) packFlags() uint16 {
+	var f uint16
+	if h.Response {
+		f |= 1 << 15
+	}
+	f |= uint16(h.Opcode&0xF) << 11
+	if h.Authoritative {
+		f |= 1 << 10
+	}
+	if h.Truncated {
+		f |= 1 << 9
+	}
+	if h.RecursionDesired {
+		f |= 1 << 8
+	}
+	if h.RecursionAvailable {
+		f |= 1 << 7
+	}
+	f |= uint16(h.RCode & 0xF)
+	return f
+}
+
+func unpackFlags(f uint16) Header {
+	return Header{
+		Response:           f&(1<<15) != 0,
+		Opcode:             Opcode(f >> 11 & 0xF),
+		Authoritative:      f&(1<<10) != 0,
+		Truncated:          f&(1<<9) != 0,
+		RecursionDesired:   f&(1<<8) != 0,
+		RecursionAvailable: f&(1<<7) != 0,
+		RCode:              RCode(f & 0xF),
+	}
+}
+
+// Append serializes the message, appending to buf (which is usually nil).
+// Domain names in question and answer sections are compressed.
+func (m *Message) Append(buf []byte) ([]byte, error) {
+	for _, counts := range []int{len(m.Questions), len(m.Answers), len(m.Authorities), len(m.Additionals)} {
+		if counts > 0xFFFF {
+			return nil, fmt.Errorf("dnswire: section too large (%d records)", counts)
+		}
+	}
+	buf = binary.BigEndian.AppendUint16(buf, m.Header.ID)
+	buf = binary.BigEndian.AppendUint16(buf, m.Header.packFlags())
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Questions)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Answers)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Authorities)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Additionals)))
+
+	cm := compressionMap{}
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = appendName(buf, q.Name, cm, 0); err != nil {
+			return nil, fmt.Errorf("question %s: %w", q.Name, err)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+	}
+	for _, sec := range [][]Record{m.Answers, m.Authorities, m.Additionals} {
+		for _, rr := range sec {
+			if buf, err = appendRecord(buf, rr, cm); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+// Pack is Append with a fresh buffer.
+func (m *Message) Pack() ([]byte, error) { return m.Append(nil) }
+
+func appendRecord(buf []byte, rr Record, cm compressionMap) ([]byte, error) {
+	var err error
+	if buf, err = appendName(buf, rr.Name, cm, 0); err != nil {
+		return nil, fmt.Errorf("record %s: %w", rr.Name, err)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Data.Type()))
+
+	classField := uint16(rr.Class)
+	ttlField := rr.TTL
+	if opt, ok := rr.Data.(OPT); ok {
+		// EDNS0: class carries the UDP payload size; TTL carries
+		// extended RCODE and flags (we emit zero).
+		classField = opt.UDPSize
+		ttlField = 0
+	}
+	buf = binary.BigEndian.AppendUint16(buf, classField)
+	buf = binary.BigEndian.AppendUint32(buf, ttlField)
+
+	lenAt := len(buf)
+	buf = append(buf, 0, 0) // placeholder RDLENGTH
+	if buf, err = rr.Data.appendTo(buf, cm); err != nil {
+		return nil, fmt.Errorf("record %s: %w", rr.Name, err)
+	}
+	rdlen := len(buf) - lenAt - 2
+	if rdlen > 0xFFFF {
+		return nil, fmt.Errorf("dnswire: RDATA of %s exceeds 65535 bytes", rr.Name)
+	}
+	binary.BigEndian.PutUint16(buf[lenAt:], uint16(rdlen))
+	return buf, nil
+}
+
+// Parse decodes a complete DNS message.
+func Parse(msg []byte) (*Message, error) {
+	if len(msg) < headerLen {
+		return nil, ErrHeaderTruncated
+	}
+	out := &Message{}
+	out.Header = unpackFlags(binary.BigEndian.Uint16(msg[2:4]))
+	out.Header.ID = binary.BigEndian.Uint16(msg[0:2])
+	qd := int(binary.BigEndian.Uint16(msg[4:6]))
+	an := int(binary.BigEndian.Uint16(msg[6:8]))
+	ns := int(binary.BigEndian.Uint16(msg[8:10]))
+	ar := int(binary.BigEndian.Uint16(msg[10:12]))
+
+	// Each question needs >= 5 bytes, each record >= 11: cheap sanity bound.
+	if qd*5+(an+ns+ar)*11 > len(msg)-headerLen {
+		return nil, ErrSectionCount
+	}
+
+	off := headerLen
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		if q.Name, off, err = parseName(msg, off); err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		if off+4 > len(msg) {
+			return nil, ErrNameTruncated
+		}
+		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+		off += 4
+		out.Questions = append(out.Questions, q)
+	}
+	sections := []struct {
+		n    int
+		dest *[]Record
+	}{{an, &out.Answers}, {ns, &out.Authorities}, {ar, &out.Additionals}}
+	for _, sec := range sections {
+		for i := 0; i < sec.n; i++ {
+			var rr Record
+			if rr, off, err = parseRecord(msg, off); err != nil {
+				return nil, err
+			}
+			*sec.dest = append(*sec.dest, rr)
+		}
+	}
+	if off != len(msg) {
+		return nil, ErrTrailingBytes
+	}
+	return out, nil
+}
+
+func parseRecord(msg []byte, off int) (Record, int, error) {
+	var rr Record
+	var err error
+	if rr.Name, off, err = parseName(msg, off); err != nil {
+		return rr, 0, err
+	}
+	if off+10 > len(msg) {
+		return rr, 0, ErrNameTruncated
+	}
+	typ := Type(binary.BigEndian.Uint16(msg[off:]))
+	classField := binary.BigEndian.Uint16(msg[off+2:])
+	rr.TTL = binary.BigEndian.Uint32(msg[off+4:])
+	rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+	off += 10
+	if off+rdlen > len(msg) {
+		return rr, 0, ErrNameTruncated
+	}
+	rd := msg[off : off+rdlen]
+	rdEnd := off + rdlen
+
+	rr.Class = Class(classField)
+	switch typ {
+	case TypeA:
+		if rdlen != 4 {
+			return rr, 0, fmt.Errorf("dnswire: A RDATA length %d", rdlen)
+		}
+		rr.Data = A{Addr: netip.AddrFrom4([4]byte(rd))}
+	case TypeAAAA:
+		if rdlen != 16 {
+			return rr, 0, fmt.Errorf("dnswire: AAAA RDATA length %d", rdlen)
+		}
+		rr.Data = AAAA{Addr: netip.AddrFrom16([16]byte(rd))}
+	case TypeCNAME, TypeNS, TypePTR:
+		n, nend, err := parseName(msg, off)
+		if err != nil {
+			return rr, 0, err
+		}
+		if nend != rdEnd {
+			return rr, 0, fmt.Errorf("dnswire: %s RDATA has trailing bytes", typ)
+		}
+		switch typ {
+		case TypeCNAME:
+			rr.Data = CNAME{Target: n}
+		case TypeNS:
+			rr.Data = NS{Host: n}
+		default:
+			rr.Data = PTR{Target: n}
+		}
+	case TypeMX:
+		if rdlen < 3 {
+			return rr, 0, fmt.Errorf("dnswire: MX RDATA length %d", rdlen)
+		}
+		pref := binary.BigEndian.Uint16(rd)
+		host, nend, err := parseName(msg, off+2)
+		if err != nil {
+			return rr, 0, err
+		}
+		if nend != rdEnd {
+			return rr, 0, errors.New("dnswire: MX RDATA has trailing bytes")
+		}
+		rr.Data = MX{Preference: pref, Host: host}
+	case TypeSOA:
+		var s SOA
+		pos := off
+		if s.MName, pos, err = parseName(msg, pos); err != nil {
+			return rr, 0, err
+		}
+		if s.RName, pos, err = parseName(msg, pos); err != nil {
+			return rr, 0, err
+		}
+		if pos+20 != rdEnd {
+			return rr, 0, errors.New("dnswire: SOA RDATA malformed")
+		}
+		s.Serial = binary.BigEndian.Uint32(msg[pos:])
+		s.Refresh = binary.BigEndian.Uint32(msg[pos+4:])
+		s.Retry = binary.BigEndian.Uint32(msg[pos+8:])
+		s.Expire = binary.BigEndian.Uint32(msg[pos+12:])
+		s.Minimum = binary.BigEndian.Uint32(msg[pos+16:])
+		rr.Data = s
+	case TypeTXT:
+		var t TXT
+		for p := 0; p < rdlen; {
+			l := int(rd[p])
+			if p+1+l > rdlen {
+				return rr, 0, errors.New("dnswire: TXT string truncated")
+			}
+			t.Strings = append(t.Strings, string(rd[p+1:p+1+l]))
+			p += 1 + l
+		}
+		if len(t.Strings) == 0 {
+			t.Strings = []string{""}
+		}
+		rr.Data = t
+	case TypeOPT:
+		opt := OPT{UDPSize: classField}
+		for p := 0; p+4 <= rdlen; {
+			code := binary.BigEndian.Uint16(rd[p:])
+			olen := int(binary.BigEndian.Uint16(rd[p+2:]))
+			if p+4+olen > rdlen {
+				return rr, 0, errors.New("dnswire: EDNS option truncated")
+			}
+			data := make([]byte, olen)
+			copy(data, rd[p+4:p+4+olen])
+			opt.Options = append(opt.Options, EDNSOption{Code: code, Data: data})
+			p += 4 + olen
+		}
+		rr.Class = ClassIN // normalized; UDP size carried in opt.UDPSize
+		rr.Data = opt
+	default:
+		data := make([]byte, rdlen)
+		copy(data, rd)
+		rr.Data = RawRData{T: typ, Data: data}
+	}
+	return rr, rdEnd, nil
+}
+
+// AnswerIPs extracts all IPv4/IPv6 addresses from the answer section.
+func (m *Message) AnswerIPs() []netip.Addr {
+	var out []netip.Addr
+	for _, rr := range m.Answers {
+		switch d := rr.Data.(type) {
+		case A:
+			out = append(out, d.Addr)
+		case AAAA:
+			out = append(out, d.Addr)
+		}
+	}
+	return out
+}
+
+// CNAMEChain extracts the CNAME targets from the answer section in order.
+func (m *Message) CNAMEChain() []Name {
+	var out []Name
+	for _, rr := range m.Answers {
+		if c, ok := rr.Data.(CNAME); ok {
+			out = append(out, c.Target)
+		}
+	}
+	return out
+}
+
+// MinAnswerTTL returns the minimum TTL across answer records, or 0 when
+// the answer section is empty.
+func (m *Message) MinAnswerTTL() uint32 {
+	var minTTL uint32
+	for i, rr := range m.Answers {
+		if i == 0 || rr.TTL < minTTL {
+			minTTL = rr.TTL
+		}
+	}
+	return minTTL
+}
+
+// String renders a dig-style summary of the message.
+func (m *Message) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ";; id=%d rcode=%s %s\n", m.Header.ID, m.Header.RCode, flagString(m.Header))
+	for _, q := range m.Questions {
+		fmt.Fprintf(&b, ";%s\n", q)
+	}
+	for _, rr := range m.Answers {
+		fmt.Fprintf(&b, "%s\n", rr)
+	}
+	for _, rr := range m.Authorities {
+		fmt.Fprintf(&b, "auth: %s\n", rr)
+	}
+	for _, rr := range m.Additionals {
+		fmt.Fprintf(&b, "extra: %s\n", rr)
+	}
+	return b.String()
+}
+
+func flagString(h Header) string {
+	var flags []string
+	if h.Response {
+		flags = append(flags, "qr")
+	}
+	if h.Authoritative {
+		flags = append(flags, "aa")
+	}
+	if h.Truncated {
+		flags = append(flags, "tc")
+	}
+	if h.RecursionDesired {
+		flags = append(flags, "rd")
+	}
+	if h.RecursionAvailable {
+		flags = append(flags, "ra")
+	}
+	return strings.Join(flags, " ")
+}

@@ -1,0 +1,177 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Name is a fully-qualified domain name in presentation format without the
+// trailing dot ("www.example.com"). The root name is the empty string.
+// Names compare case-insensitively per RFC 1035 §2.3.3; use Equal.
+type Name string
+
+// Errors returned by name encoding/decoding.
+var (
+	ErrNameTooLong   = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong  = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel    = errors.New("dnswire: empty label")
+	ErrBadPointer    = errors.New("dnswire: bad compression pointer")
+	ErrPointerLoop   = errors.New("dnswire: compression pointer loop")
+	ErrNameTruncated = errors.New("dnswire: truncated name")
+	ErrTooManyLabels = errors.New("dnswire: too many labels")
+)
+
+const (
+	maxNameWire  = 255
+	maxLabelWire = 63
+)
+
+// Equal reports whether two names are equal under DNS case-insensitivity.
+func (n Name) Equal(m Name) bool {
+	return strings.EqualFold(string(n), string(m))
+}
+
+// Labels splits the name into its labels. The root name has no labels.
+func (n Name) Labels() []string {
+	if n == "" || n == "." {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(string(n), "."), ".")
+}
+
+// Parent returns the name with its leftmost label removed ("a.b.c" → "b.c").
+// The parent of a single-label name is the root (empty) name.
+func (n Name) Parent() Name {
+	i := strings.IndexByte(string(n), '.')
+	if i < 0 {
+		return ""
+	}
+	return n[i+1:]
+}
+
+// HasSuffix reports whether n is equal to, or a subdomain of, suffix.
+func (n Name) HasSuffix(suffix Name) bool {
+	if suffix == "" {
+		return true
+	}
+	nl, sl := strings.ToLower(string(n)), strings.ToLower(string(suffix))
+	if nl == sl {
+		return true
+	}
+	return strings.HasSuffix(nl, "."+sl)
+}
+
+// String implements fmt.Stringer, rendering the root as ".".
+func (n Name) String() string {
+	if n == "" {
+		return "."
+	}
+	return string(n)
+}
+
+// validate checks label and total-length constraints.
+func (n Name) validate() error {
+	labels := n.Labels()
+	wireLen := 1 // terminating root byte
+	for _, l := range labels {
+		if l == "" {
+			return ErrEmptyLabel
+		}
+		if len(l) > maxLabelWire {
+			return ErrLabelTooLong
+		}
+		wireLen += 1 + len(l)
+	}
+	if wireLen > maxNameWire {
+		return ErrNameTooLong
+	}
+	return nil
+}
+
+// compressionMap tracks name suffixes already emitted into a message so
+// later occurrences can be replaced with 2-byte pointers (RFC 1035 §4.1.4).
+type compressionMap map[string]int
+
+// appendName appends the wire encoding of n to buf, using and updating the
+// compression map when cm is non-nil. msgStart is the index in buf where
+// the DNS message begins (names in this codec always start at 0, but the
+// parameter keeps the helper honest if the buffer carries a prefix).
+func appendName(buf []byte, n Name, cm compressionMap, msgStart int) ([]byte, error) {
+	if err := n.validate(); err != nil {
+		return nil, err
+	}
+	labels := n.Labels()
+	for i := range labels {
+		suffix := strings.ToLower(strings.Join(labels[i:], "."))
+		if cm != nil {
+			if off, ok := cm[suffix]; ok && off < 0x3FFF {
+				// Emit pointer to prior occurrence and stop.
+				buf = append(buf, 0xC0|byte(off>>8), byte(off))
+				return buf, nil
+			}
+			if pos := len(buf) - msgStart; pos < 0x3FFF {
+				cm[suffix] = pos
+			}
+		}
+		buf = append(buf, byte(len(labels[i])))
+		buf = append(buf, labels[i]...)
+	}
+	buf = append(buf, 0) // root
+	return buf, nil
+}
+
+// parseName decodes a possibly-compressed name starting at off within msg.
+// It returns the name and the offset just past the name's first encoding
+// (i.e. past the pointer if the name was compressed).
+func parseName(msg []byte, off int) (Name, int, error) {
+	var sb strings.Builder
+	ptrBudget := 64 // generous loop guard: real names have far fewer jumps
+	end := -1       // offset after the first (non-pointer-target) encoding
+	pos := off
+	for {
+		if pos >= len(msg) {
+			return "", 0, ErrNameTruncated
+		}
+		b := msg[pos]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = pos + 1
+			}
+			return Name(sb.String()), end, nil
+		case b&0xC0 == 0xC0:
+			if pos+1 >= len(msg) {
+				return "", 0, ErrNameTruncated
+			}
+			target := int(b&0x3F)<<8 | int(msg[pos+1])
+			if end < 0 {
+				end = pos + 2
+			}
+			if target >= pos {
+				// Pointers must point strictly backwards.
+				return "", 0, ErrBadPointer
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return "", 0, ErrPointerLoop
+			}
+			pos = target
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type 0x%02x", b&0xC0)
+		default:
+			l := int(b)
+			if pos+1+l > len(msg) {
+				return "", 0, ErrNameTruncated
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(msg[pos+1 : pos+1+l])
+			if sb.Len() > maxNameWire {
+				return "", 0, ErrNameTooLong
+			}
+			pos += 1 + l
+		}
+	}
+}

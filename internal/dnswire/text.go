@@ -1,0 +1,128 @@
+package dnswire
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// ParseRecord parses one resource record in a simplified zone-file
+// presentation format:
+//
+//	<name> [ttl] <type> <rdata...>
+//
+// e.g. "www.example.com 300 A 192.0.2.1", "example.com MX 10 mx1.example.com",
+// "host.example TXT \"hello world\" \"second string\"".
+// The TTL is optional (default 300). Supported types: A, AAAA, CNAME, NS,
+// PTR, MX, TXT. It exists so the real-socket tools (cmd/adnsd) can serve
+// static records next to the whoami zone.
+func ParseRecord(line string) (Record, error) {
+	fields := tokenize(line)
+	if len(fields) < 3 {
+		return Record{}, fmt.Errorf("dnswire: record needs at least name, type and rdata: %q", line)
+	}
+	rr := Record{Name: Name(strings.TrimSuffix(fields[0], ".")), Class: ClassIN, TTL: 300}
+	rest := fields[1:]
+	if ttl, err := strconv.ParseUint(rest[0], 10, 32); err == nil {
+		rr.TTL = uint32(ttl)
+		rest = rest[1:]
+		if len(rest) < 2 {
+			return Record{}, fmt.Errorf("dnswire: record %q missing rdata", line)
+		}
+	}
+	typ, rdata := strings.ToUpper(rest[0]), rest[1:]
+	switch typ {
+	case "A":
+		addr, err := netip.ParseAddr(rdata[0])
+		if err != nil || !addr.Is4() {
+			return Record{}, fmt.Errorf("dnswire: bad A rdata %q", rdata[0])
+		}
+		rr.Data = A{Addr: addr}
+	case "AAAA":
+		addr, err := netip.ParseAddr(rdata[0])
+		if err != nil || !addr.Is6() {
+			return Record{}, fmt.Errorf("dnswire: bad AAAA rdata %q", rdata[0])
+		}
+		rr.Data = AAAA{Addr: addr}
+	case "CNAME":
+		rr.Data = CNAME{Target: Name(strings.TrimSuffix(rdata[0], "."))}
+	case "NS":
+		rr.Data = NS{Host: Name(strings.TrimSuffix(rdata[0], "."))}
+	case "PTR":
+		rr.Data = PTR{Target: Name(strings.TrimSuffix(rdata[0], "."))}
+	case "MX":
+		if len(rdata) < 2 {
+			return Record{}, fmt.Errorf("dnswire: MX needs preference and host")
+		}
+		pref, err := strconv.ParseUint(rdata[0], 10, 16)
+		if err != nil {
+			return Record{}, fmt.Errorf("dnswire: bad MX preference %q", rdata[0])
+		}
+		rr.Data = MX{Preference: uint16(pref), Host: Name(strings.TrimSuffix(rdata[1], "."))}
+	case "TXT":
+		if len(rdata) == 0 {
+			return Record{}, fmt.Errorf("dnswire: TXT needs at least one string")
+		}
+		rr.Data = TXT{Strings: rdata}
+	default:
+		return Record{}, fmt.Errorf("dnswire: unsupported record type %q", typ)
+	}
+	// Validate the name eagerly so bad configs fail at parse time.
+	if err := rr.Name.validate(); err != nil {
+		return Record{}, fmt.Errorf("dnswire: record name %q: %w", rr.Name, err)
+	}
+	return rr, nil
+}
+
+// tokenize splits a record line on whitespace, honoring double-quoted
+// strings (for TXT rdata).
+func tokenize(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			if inQuote {
+				// closing quote: emit even if empty
+				out = append(out, cur.String())
+				cur.Reset()
+				inQuote = false
+			} else {
+				flush()
+				inQuote = true
+			}
+		case (c == ' ' || c == '\t') && !inQuote:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+// ParseRecords parses one record per non-empty, non-comment line.
+func ParseRecords(text string) ([]Record, error) {
+	var out []Record
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, ";") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rr, err := ParseRecord(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package dnswire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRecordTypes(t *testing.T) {
+	cases := []struct {
+		line string
+		typ  Type
+		str  string // expected RData.String()
+		ttl  uint32
+	}{
+		{"www.example.com 300 A 192.0.2.1", TypeA, "192.0.2.1", 300},
+		{"www.example.com A 192.0.2.1", TypeA, "192.0.2.1", 300}, // default TTL
+		{"host.example 60 AAAA 2001:db8::1", TypeAAAA, "2001:db8::1", 60},
+		{"alias.example 30 CNAME target.example.", TypeCNAME, "target.example", 30},
+		{"example.com 600 NS ns1.example.com", TypeNS, "ns1.example.com", 600},
+		{"1.2.0.192.in-addr.arpa PTR host.example", TypePTR, "host.example", 300},
+		{"example.com 120 MX 10 mx1.example.com", TypeMX, "10 mx1.example.com", 120},
+	}
+	for _, c := range cases {
+		rr, err := ParseRecord(c.line)
+		if err != nil {
+			t.Errorf("%q: %v", c.line, err)
+			continue
+		}
+		if rr.Data.Type() != c.typ || rr.TTL != c.ttl {
+			t.Errorf("%q: type=%v ttl=%d", c.line, rr.Data.Type(), rr.TTL)
+		}
+		if got := rr.Data.String(); got != c.str {
+			t.Errorf("%q: rdata %q, want %q", c.line, got, c.str)
+		}
+	}
+}
+
+func TestParseRecordTXTQuoting(t *testing.T) {
+	rr, err := ParseRecord(`host.example 30 TXT "hello world" "second string" bare`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := rr.Data.(TXT)
+	if len(txt.Strings) != 3 || txt.Strings[0] != "hello world" || txt.Strings[2] != "bare" {
+		t.Fatalf("TXT strings = %q", txt.Strings)
+	}
+	rr, err = ParseRecord(`empty.example TXT ""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rr.Data.(TXT).Strings; len(got) != 1 || got[0] != "" {
+		t.Fatalf("empty TXT = %q", got)
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"name.only",
+		"x.example A", // missing rdata after type... (parsed as name=x.example type=A rdata missing)
+		"x.example 30 A not-an-ip",
+		"x.example A 2001:db8::1",          // v6 in A
+		"x.example AAAA 1.2.3.4",           // v4 in AAAA
+		"x.example MX mx1.example.com",     // missing preference
+		"x.example MX ten mx1.example.com", // bad preference
+		"x.example WKS whatever",           // unsupported type
+		strings.Repeat("a", 80) + ".example 30 A 1.2.3.4", // label too long
+	}
+	for _, line := range bad {
+		if _, err := ParseRecord(line); err == nil {
+			t.Errorf("%q: expected error", line)
+		}
+	}
+}
+
+func TestParseRecordsFile(t *testing.T) {
+	text := `
+; zone fixture
+www.example.com 300 A 192.0.2.1
+www.example.com 300 A 192.0.2.2
+# comment style two
+alias.example.com CNAME www.example.com
+
+mail.example.com 120 MX 5 mx.example.com
+`
+	rrs, err := ParseRecords(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) != 4 {
+		t.Fatalf("records = %d", len(rrs))
+	}
+	if _, err := ParseRecords("good.example A 1.2.3.4\nbroken line here\n"); err == nil {
+		t.Fatal("bad line must fail with line number")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should cite the line: %v", err)
+	}
+}
+
+// Parsed records must be servable: round-trip one through the wire.
+func TestParsedRecordPacks(t *testing.T) {
+	rr, err := ParseRecord("www.example.com 300 A 192.0.2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Message{Header: Header{Response: true}}
+	m.Answers = []Record{rr}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Answers[0].String() != rr.String() {
+		t.Fatalf("round trip: %s != %s", back.Answers[0], rr)
+	}
+}

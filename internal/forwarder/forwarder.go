@@ -1,0 +1,157 @@
+// Package forwarder implements a caching DNS forwarder: a client-facing
+// resolver that forwards misses to an upstream resolver and serves
+// repeats from a TTL cache. It is the real-socket counterpart of the
+// simulated cellular LDNS frontends, built from the same dnswire,
+// dnsclient and dnsserver pieces, and it powers cmd/fwdns — handy for
+// observing exactly the cache behaviour the paper measures in Fig 7.
+package forwarder
+
+import (
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"cellcurtain/internal/dnsclient"
+	"cellcurtain/internal/dnswire"
+)
+
+// entry is one cached answer.
+type entry struct {
+	answers []dnswire.Record
+	rcode   dnswire.RCode
+	expiry  time.Time
+	stored  time.Time
+}
+
+// Forwarder resolves queries through an upstream resolver with caching.
+type Forwarder struct {
+	// Upstream is the resolver misses are forwarded to.
+	Upstream netip.Addr
+	// Client performs the forwarding (configure transports/retries there).
+	Client *dnsclient.Client
+	// MaxTTL caps cache lifetimes; 0 means 1 hour.
+	MaxTTL time.Duration
+	// NegativeTTL caches NXDOMAIN/errors briefly; 0 means 30 s.
+	NegativeTTL time.Duration
+	// Now is the clock (tests override it); nil means time.Now.
+	Now func() time.Time
+
+	mu    sync.Mutex
+	cache map[string]entry
+	// Hits and Misses count cache outcomes (read under the lock or after
+	// serving stops).
+	Hits, Misses uint64
+}
+
+// New builds a forwarder toward upstream using the given client.
+func New(upstream netip.Addr, client *dnsclient.Client) *Forwarder {
+	return &Forwarder{
+		Upstream: upstream,
+		Client:   client,
+		cache:    make(map[string]entry),
+	}
+}
+
+func (f *Forwarder) now() time.Time {
+	if f.Now != nil {
+		return f.Now()
+	}
+	return time.Now()
+}
+
+func cacheKey(q dnswire.Question) string {
+	return strings.ToLower(string(q.Name)) + "/" + q.Type.String()
+}
+
+// ServeDNS implements dnsserver.Handler.
+func (f *Forwarder) ServeDNS(_ netip.AddrPort, query *dnswire.Message) *dnswire.Message {
+	resp := query.Reply()
+	resp.Header.RecursionAvailable = true
+	if len(query.Questions) != 1 {
+		resp.Header.RCode = dnswire.RCodeFormErr
+		return resp
+	}
+	q := query.Questions[0]
+	key := cacheKey(q)
+	now := f.now()
+
+	f.mu.Lock()
+	if e, ok := f.cache[key]; ok && now.Before(e.expiry) {
+		f.Hits++
+		f.mu.Unlock()
+		resp.Header.RCode = e.rcode
+		resp.Answers = decayTTLs(e.answers, now.Sub(e.stored))
+		return resp
+	}
+	f.Misses++
+	f.mu.Unlock()
+
+	res, err := f.Client.Query(f.Upstream, q.Name, q.Type)
+	if err != nil {
+		resp.Header.RCode = dnswire.RCodeServFail
+		return resp
+	}
+	up := res.Msg
+	resp.Header.RCode = up.Header.RCode
+	resp.Answers = up.Answers
+
+	ttl := time.Duration(up.MinAnswerTTL()) * time.Second
+	maxTTL := f.MaxTTL
+	if maxTTL <= 0 {
+		maxTTL = time.Hour
+	}
+	if ttl > maxTTL {
+		ttl = maxTTL
+	}
+	if len(up.Answers) == 0 || up.Header.RCode != dnswire.RCodeSuccess {
+		ttl = f.NegativeTTL
+		if ttl <= 0 {
+			ttl = 30 * time.Second
+		}
+	}
+	if ttl > 0 {
+		f.mu.Lock()
+		f.cache[key] = entry{
+			answers: up.Answers, rcode: up.Header.RCode,
+			expiry: now.Add(ttl), stored: now,
+		}
+		f.mu.Unlock()
+	}
+	return resp
+}
+
+// decayTTLs returns copies of the records with TTLs reduced by age.
+func decayTTLs(rrs []dnswire.Record, age time.Duration) []dnswire.Record {
+	out := make([]dnswire.Record, len(rrs))
+	aged := uint32(age / time.Second)
+	for i, rr := range rrs {
+		if rr.TTL > aged {
+			rr.TTL -= aged
+		} else {
+			rr.TTL = 0
+		}
+		out[i] = rr
+	}
+	return out
+}
+
+// Stats returns the hit/miss counters.
+func (f *Forwarder) Stats() (hits, misses uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.Hits, f.Misses
+}
+
+// Purge drops expired entries and returns how many remain.
+func (f *Forwarder) Purge() int {
+	now := f.now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for k, e := range f.cache {
+		if !now.Before(e.expiry) {
+			delete(f.cache, k)
+		}
+	}
+	return len(f.cache)
+}

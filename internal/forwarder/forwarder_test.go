@@ -1,0 +1,178 @@
+package forwarder
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dnsclient"
+	"cellcurtain/internal/dnswire"
+)
+
+var upstreamAddr = netip.MustParseAddr("192.0.2.53")
+
+// countingTransport answers A queries with a fixed record and counts
+// upstream exchanges.
+type countingTransport struct {
+	calls int
+	ttl   uint32
+	fail  bool
+	nx    bool
+}
+
+func (c *countingTransport) Exchange(_ netip.Addr, payload []byte) ([]byte, time.Duration, error) {
+	c.calls++
+	if c.fail {
+		return nil, 0, errors.New("upstream down")
+	}
+	q, err := dnswire.Parse(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	r := q.Reply()
+	if c.nx {
+		r.Header.RCode = dnswire.RCodeNXDomain
+	} else {
+		r.Answers = []dnswire.Record{{
+			Name: q.Questions[0].Name, Class: dnswire.ClassIN, TTL: c.ttl,
+			Data: dnswire.A{Addr: netip.MustParseAddr("198.51.100.1")},
+		}}
+	}
+	b, err := r.Pack()
+	return b, time.Millisecond, err
+}
+
+func newForwarder(tr dnsclient.Transport) (*Forwarder, *time.Time) {
+	now := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	f := New(upstreamAddr, dnsclient.New(tr, nil))
+	f.Now = func() time.Time { return now }
+	return f, &now
+}
+
+func query(f *Forwarder, name dnswire.Name) *dnswire.Message {
+	q := dnswire.NewQuery(7, name, dnswire.TypeA)
+	return f.ServeDNS(netip.AddrPort{}, q)
+}
+
+func TestForwardAndCache(t *testing.T) {
+	tr := &countingTransport{ttl: 60}
+	f, _ := newForwarder(tr)
+
+	resp := query(f, "www.example.com")
+	if resp.Header.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("first response: %+v", resp)
+	}
+	if !resp.Header.RecursionAvailable {
+		t.Fatal("forwarder must advertise recursion")
+	}
+	query(f, "www.example.com")
+	query(f, "WWW.EXAMPLE.COM") // case-insensitive key
+	if tr.calls != 1 {
+		t.Fatalf("upstream calls = %d, want 1 (cached)", tr.calls)
+	}
+	hits, misses := f.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestTTLExpiryAndDecay(t *testing.T) {
+	tr := &countingTransport{ttl: 60}
+	f, now := newForwarder(tr)
+	query(f, "a.example")
+	*now = now.Add(25 * time.Second)
+	resp := query(f, "a.example")
+	if tr.calls != 1 {
+		t.Fatal("should still be cached at 25s")
+	}
+	if got := resp.Answers[0].TTL; got != 35 {
+		t.Fatalf("decayed TTL = %d, want 35", got)
+	}
+	*now = now.Add(40 * time.Second) // past 60s total
+	query(f, "a.example")
+	if tr.calls != 2 {
+		t.Fatal("expired entry must refetch")
+	}
+}
+
+func TestTypeSeparation(t *testing.T) {
+	tr := &countingTransport{ttl: 60}
+	f, _ := newForwarder(tr)
+	query(f, "b.example")
+	q := dnswire.NewQuery(9, "b.example", dnswire.TypeTXT)
+	f.ServeDNS(netip.AddrPort{}, q)
+	if tr.calls != 2 {
+		t.Fatalf("A and TXT must cache separately, calls=%d", tr.calls)
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	tr := &countingTransport{nx: true}
+	f, now := newForwarder(tr)
+	resp := query(f, "missing.example")
+	if resp.Header.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+	query(f, "missing.example")
+	if tr.calls != 1 {
+		t.Fatal("NXDOMAIN should be negatively cached")
+	}
+	*now = now.Add(31 * time.Second)
+	query(f, "missing.example")
+	if tr.calls != 2 {
+		t.Fatal("negative entry must expire after NegativeTTL")
+	}
+}
+
+func TestUpstreamFailure(t *testing.T) {
+	tr := &countingTransport{fail: true}
+	f, _ := newForwarder(tr)
+	resp := query(f, "down.example")
+	if resp.Header.RCode != dnswire.RCodeServFail {
+		t.Fatalf("rcode = %v, want SERVFAIL", resp.Header.RCode)
+	}
+	// Failures are not cached: the next query retries upstream.
+	before := tr.calls
+	query(f, "down.example")
+	if tr.calls <= before {
+		t.Fatal("failures must not be cached")
+	}
+}
+
+func TestMaxTTLCap(t *testing.T) {
+	tr := &countingTransport{ttl: 86400}
+	f, now := newForwarder(tr)
+	f.MaxTTL = time.Minute
+	query(f, "long.example")
+	*now = now.Add(61 * time.Second)
+	query(f, "long.example")
+	if tr.calls != 2 {
+		t.Fatal("MaxTTL must cap cache lifetime")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	tr := &countingTransport{ttl: 60}
+	f, now := newForwarder(tr)
+	query(f, "p1.example")
+	query(f, "p2.example")
+	if got := f.Purge(); got != 2 {
+		t.Fatalf("live entries = %d", got)
+	}
+	*now = now.Add(2 * time.Minute)
+	if got := f.Purge(); got != 0 {
+		t.Fatalf("entries after expiry = %d", got)
+	}
+}
+
+func TestMultiQuestionRejected(t *testing.T) {
+	tr := &countingTransport{ttl: 60}
+	f, _ := newForwarder(tr)
+	q := dnswire.NewQuery(1, "a.example", dnswire.TypeA)
+	q.Questions = append(q.Questions, dnswire.Question{Name: "b.example", Type: dnswire.TypeA, Class: dnswire.ClassIN})
+	resp := f.ServeDNS(netip.AddrPort{}, q)
+	if resp.Header.RCode != dnswire.RCodeFormErr {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+}

@@ -1,0 +1,103 @@
+package measure
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/geo"
+	"cellcurtain/internal/sim"
+)
+
+// When a domain's authoritative server becomes unreachable, resolutions
+// of that domain fail with SERVFAIL while every other measurement in the
+// experiment proceeds — the pipeline must degrade, not abort.
+func TestAuthorityOutageDegradesGracefully(t *testing.T) {
+	w, err := sim.New(sim.Config{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-delegate one domain to an address nothing routes to.
+	w.Registry.Delegate("m.yelp.com", netip.MustParseAddr("203.0.113.253"))
+
+	cn, _ := w.Carrier("att")
+	city, _ := geo.CityByName("chicago")
+	c := cn.NewClient("outage-dev", city.Loc)
+	r := NewRunner(w)
+	exp := r.Run(c, time.Date(2014, 4, 1, 0, 0, 0, 0, time.UTC))
+
+	var yelpOK, yelpTotal, otherOK, otherTotal int
+	for _, res := range exp.Resolutions {
+		if res.Domain == "m.yelp.com" {
+			yelpTotal++
+			if res.OK {
+				yelpOK++
+			}
+		} else {
+			otherTotal++
+			if res.OK {
+				otherOK++
+			}
+		}
+	}
+	if yelpOK != 0 {
+		t.Fatalf("outaged domain resolved %d/%d times", yelpOK, yelpTotal)
+	}
+	if otherOK < otherTotal-2 {
+		t.Fatalf("outage leaked: only %d/%d other resolutions succeeded", otherOK, otherTotal)
+	}
+	// No replica probes for the dead domain, but probes exist for others.
+	for _, rp := range exp.ReplicaProbes {
+		if rp.Domain == "m.yelp.com" {
+			t.Fatal("replica probes for a domain that never resolved")
+		}
+	}
+	if len(exp.ReplicaProbes) == 0 {
+		t.Fatal("healthy domains should still be probed")
+	}
+	// Resolver discovery (whoami) is unaffected.
+	if _, ok := exp.DiscoveredExternal(dataset.KindLocal); !ok {
+		t.Fatal("whoami discovery should survive a CDN outage")
+	}
+}
+
+// A whoami-ADNS outage breaks resolver discovery for every resolver kind
+// but leaves domain resolution intact.
+func TestWhoamiOutage(t *testing.T) {
+	w, err := sim.New(sim.Config{Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Registry.Delegate("whoami.aqualab.example", netip.MustParseAddr("203.0.113.254"))
+
+	cn, _ := w.Carrier("verizon")
+	city, _ := geo.CityByName("boston")
+	c := cn.NewClient("whoami-outage", city.Loc)
+	exp := NewRunner(w).Run(c, time.Date(2014, 4, 2, 0, 0, 0, 0, time.UTC))
+
+	for _, kind := range dataset.Kinds() {
+		if _, ok := exp.DiscoveredExternal(kind); ok {
+			t.Fatalf("%s discovery should fail during whoami outage", kind)
+		}
+	}
+	okRes := 0
+	for _, res := range exp.Resolutions {
+		if res.OK {
+			okRes++
+		}
+	}
+	if okRes < 20 {
+		t.Fatalf("domain resolutions should survive: %d ok", okRes)
+	}
+	// External-resolver pings are skipped (nothing was discovered), but
+	// the configured-resolver and VIP probes still run.
+	for _, p := range exp.ResolverProbes {
+		if p.Which == "external" {
+			t.Fatal("external probes require a successful discovery")
+		}
+	}
+	if len(exp.ResolverProbes) != 3 {
+		t.Fatalf("expected the 3 baseline resolver probes, got %d", len(exp.ResolverProbes))
+	}
+}

@@ -1,0 +1,169 @@
+// Package measure implements the paper's per-device experiment (§3.2):
+//
+//  1. a bootstrap ping to promote the radio out of idle state,
+//  2. two back-to-back DNS resolutions of nine popular mobile domains
+//     against the locally configured resolver, Google DNS and OpenDNS,
+//  3. ping and HTTP GET probes to every replica address returned, plus
+//     one traceroute for egress extraction,
+//  4. whoami resolutions against all three resolvers to discover the
+//     external-facing resolver identities,
+//  5. ping probes to the configured resolver address, the discovered
+//     external addresses and the public VIPs.
+//
+// The runner drives a simulated device, but every step is the real
+// measurement logic over real DNS bytes.
+package measure
+
+import (
+	"net/netip"
+	"time"
+
+	"cellcurtain/internal/carrier"
+	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/dnswire"
+	"cellcurtain/internal/probe"
+	"cellcurtain/internal/sim"
+)
+
+// Runner executes experiments against a world.
+type Runner struct {
+	World   *sim.World
+	Domains []dnswire.Name
+	// TracerouteEvery controls how often the replica traceroute is taken
+	// (1 = every experiment). Traceroutes are the most expensive probe.
+	TracerouteEvery int
+
+	seq int
+}
+
+// NewRunner builds a runner measuring the world's Table 2 domains.
+func NewRunner(w *sim.World) *Runner {
+	return &Runner{World: w, Domains: w.CDN.DomainNames(), TracerouteEvery: 1}
+}
+
+// resolverTarget describes one resolver the experiment exercises.
+type resolverTarget struct {
+	kind dataset.ResolverKind
+	addr netip.Addr
+}
+
+// Run executes one experiment for client c at virtual time now and
+// returns the record. The client's Loc and Tech fields must already be
+// set for this experiment.
+func (r *Runner) Run(c *carrier.Client, now time.Time) *dataset.Experiment {
+	w := r.World
+	f := w.Fabric
+	f.SetNow(now)
+	r.seq++
+
+	cn := clientNetwork(w, c)
+	exp := &dataset.Experiment{
+		Seq:        r.seq,
+		ClientID:   c.ID,
+		Carrier:    cn.Name,
+		Country:    cn.Country,
+		Time:       now,
+		Lat:        roundCoarse(c.Loc.Lat),
+		Lon:        roundCoarse(c.Loc.Lon),
+		Radio:      string(c.Tech),
+		NATAddr:    c.NATAddrAt(now),
+		Configured: c.ConfiguredResolver(),
+	}
+
+	targets := []resolverTarget{
+		{dataset.KindLocal, c.ConfiguredResolver()},
+		{dataset.KindGoogle, w.Google.VIP},
+		{dataset.KindOpenDNS, w.OpenDNS.VIP},
+	}
+
+	// 1. Bootstrap ping: wake the radio, absorb state-promotion delay.
+	probe.Ping(f, c.Addr, exp.Configured)
+
+	dc := probe.NewResolverClient(f, c.Addr)
+
+	// 2. Domain resolutions, two back-to-back lookups each.
+	for _, domain := range r.Domains {
+		for _, tgt := range targets {
+			res := dataset.Resolution{
+				Domain: string(domain), Kind: tgt.kind, Server: tgt.addr,
+				Radio: string(c.Tech),
+			}
+			first, err1 := dc.QueryA(tgt.addr, domain)
+			if err1 == nil && first.Msg.Header.RCode == dnswire.RCodeSuccess {
+				res.OK = true
+				res.RTT1 = first.RTT
+				res.Answers = first.IPs()
+				res.TTL = first.Msg.MinAnswerTTL()
+				if ch := first.Msg.CNAMEChain(); len(ch) > 0 {
+					res.CNAME = string(ch[0])
+				}
+				if second, err2 := dc.QueryA(tgt.addr, domain); err2 == nil {
+					res.RTT2 = second.RTT
+				}
+			}
+			exp.Resolutions = append(exp.Resolutions, res)
+		}
+	}
+
+	// 3. Replica probes: ping + HTTP GET to every replica returned.
+	seen := map[netip.Addr]bool{}
+	for _, res := range exp.Resolutions {
+		for _, ip := range res.Answers {
+			rp := dataset.ReplicaProbe{Domain: res.Domain, Kind: res.Kind, Replica: ip}
+			ping := probe.Ping(f, c.Addr, ip)
+			rp.PingRTT, rp.PingOK = ping.RTT, ping.OK
+			get := probe.HTTPGet(f, c.Addr, ip, res.Domain)
+			rp.TTFB, rp.HTTPOK = get.TTFB, get.OK
+			exp.ReplicaProbes = append(exp.ReplicaProbes, rp)
+
+			if exp.EgressTrace == nil && !seen[ip] && r.TracerouteEvery > 0 && r.seq%r.TracerouteEvery == 0 {
+				exp.EgressTrace = probe.RespondingHops(probe.Traceroute(f, c.Addr, ip))
+			}
+			seen[ip] = true
+		}
+	}
+
+	// 4. Resolver discovery via whoami, one fresh nonce per resolver.
+	for _, tgt := range targets {
+		d := dataset.Discovery{Kind: tgt.kind, Queried: tgt.addr}
+		if res, err := dc.QueryA(tgt.addr, w.NextWhoamiName()); err == nil {
+			if ips := res.IPs(); len(ips) == 1 {
+				d.External, d.OK = ips[0], true
+			}
+		}
+		exp.Discoveries = append(exp.Discoveries, d)
+	}
+
+	// 5. Resolver probes: configured address, discovered externals, VIPs.
+	addProbe := func(kind dataset.ResolverKind, which string, target netip.Addr) {
+		p := probe.Ping(f, c.Addr, target)
+		exp.ResolverProbes = append(exp.ResolverProbes, dataset.ResolverProbe{
+			Kind: kind, Which: which, Target: target, RTT: p.RTT, OK: p.OK,
+		})
+	}
+	addProbe(dataset.KindLocal, "configured", exp.Configured)
+	addProbe(dataset.KindGoogle, "vip", w.Google.VIP)
+	addProbe(dataset.KindOpenDNS, "vip", w.OpenDNS.VIP)
+	for _, d := range exp.Discoveries {
+		if d.OK {
+			addProbe(d.Kind, "external", d.External)
+		}
+	}
+	return exp
+}
+
+func clientNetwork(w *sim.World, c *carrier.Client) *carrier.Network {
+	for _, cn := range w.Carriers {
+		if _, ok := cn.ClientByAddr(c.Addr); ok {
+			return cn
+		}
+	}
+	panic("measure: client does not belong to any carrier")
+}
+
+// roundCoarse rounds a coordinate to ~100 m granularity, matching the
+// paper's coarse location recording ("rounded up to a 100-meter radius").
+func roundCoarse(v float64) float64 {
+	const grid = 0.001
+	return float64(int64(v/grid)) * grid
+}

@@ -1,0 +1,134 @@
+package measure
+
+import (
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/geo"
+	"cellcurtain/internal/radio"
+	"cellcurtain/internal/sim"
+)
+
+func setup(t *testing.T, carrierName string) (*Runner, *sim.World, time.Time) {
+	t.Helper()
+	w, err := sim.New(sim.Config{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRunner(w), w, time.Date(2014, 3, 5, 9, 0, 0, 0, time.UTC)
+}
+
+func TestRunProducesCompleteExperiment(t *testing.T) {
+	r, w, now := setup(t, "att")
+	cn, _ := w.Carrier("att")
+	city, _ := geo.CityByName("atlanta")
+	c := cn.NewClient("m-att-0", city.Loc)
+	c.Loc, c.Tech = city.Loc, radio.LTE
+
+	exp := r.Run(c, now)
+	if exp.Carrier != "att" || exp.Country != "US" || exp.Radio != "LTE" {
+		t.Fatalf("metadata: %+v", exp)
+	}
+	if exp.Seq != 1 {
+		t.Fatalf("seq = %d", exp.Seq)
+	}
+	if len(exp.Resolutions) != 27 {
+		t.Fatalf("resolutions = %d", len(exp.Resolutions))
+	}
+	kinds := map[dataset.ResolverKind]int{}
+	for _, res := range exp.Resolutions {
+		kinds[res.Kind]++
+	}
+	for _, k := range dataset.Kinds() {
+		if kinds[k] != 9 {
+			t.Fatalf("kind %s resolutions = %d, want 9", k, kinds[k])
+		}
+	}
+	if len(exp.Discoveries) != 3 {
+		t.Fatalf("discoveries = %d", len(exp.Discoveries))
+	}
+	if ext, ok := exp.DiscoveredExternal(dataset.KindLocal); !ok || !cn.IsExternalResolver(ext) {
+		t.Fatalf("local external discovery = %v %v", ext, ok)
+	}
+	if len(exp.ReplicaProbes) == 0 || len(exp.ResolverProbes) < 3 {
+		t.Fatal("probe sections incomplete")
+	}
+	if len(exp.EgressTrace) < 2 {
+		t.Fatalf("egress trace = %v", exp.EgressTrace)
+	}
+	if !exp.NATAddr.IsValid() || exp.Configured != c.ConfiguredResolver() {
+		t.Fatal("addressing metadata wrong")
+	}
+}
+
+func TestTracerouteThinning(t *testing.T) {
+	r, w, now := setup(t, "tmobile")
+	cn, _ := w.Carrier("tmobile")
+	city, _ := geo.CityByName("denver")
+	c := cn.NewClient("m-tmo-0", city.Loc)
+
+	r.TracerouteEvery = 3
+	withTrace := 0
+	for i := 0; i < 6; i++ {
+		exp := r.Run(c, now.Add(time.Duration(i)*time.Hour))
+		if len(exp.EgressTrace) > 0 {
+			withTrace++
+		}
+	}
+	if withTrace != 2 {
+		t.Fatalf("traces = %d of 6 with TracerouteEvery=3", withTrace)
+	}
+}
+
+func TestRadioAffectsResolutionTimes(t *testing.T) {
+	r, w, now := setup(t, "verizon")
+	cn, _ := w.Carrier("verizon")
+	city, _ := geo.CityByName("boston")
+	c := cn.NewClient("m-vz-0", city.Loc)
+
+	med := func(tech radio.Tech) time.Duration {
+		c.Tech = tech
+		var total time.Duration
+		n := 0
+		for i := 0; i < 5; i++ {
+			exp := r.Run(c, now.Add(time.Duration(i)*time.Hour))
+			for _, res := range exp.Resolutions {
+				if res.Kind == dataset.KindLocal && res.OK {
+					total += res.RTT1
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			t.Fatal("no resolutions")
+		}
+		return total / time.Duration(n)
+	}
+	lte := med(radio.LTE)
+	onex := med(radio.OneX)
+	if onex < 4*lte {
+		t.Fatalf("1xRTT mean (%v) should dwarf LTE (%v)", onex, lte)
+	}
+}
+
+func TestCoarseLocationRounding(t *testing.T) {
+	if got := roundCoarse(41.87891234); got != 41.878 {
+		t.Fatalf("roundCoarse = %v", got)
+	}
+	if got := roundCoarse(-87.63991); got != -87.639 {
+		t.Fatalf("negative roundCoarse = %v", got)
+	}
+}
+
+func TestSequenceAdvances(t *testing.T) {
+	r, w, now := setup(t, "sktelecom")
+	cn, _ := w.Carrier("sktelecom")
+	city, _ := geo.CityByName("seoul")
+	c := cn.NewClient("m-sk-0", city.Loc)
+	a := r.Run(c, now)
+	b := r.Run(c, now.Add(time.Hour))
+	if b.Seq != a.Seq+1 {
+		t.Fatalf("seq: %d then %d", a.Seq, b.Seq)
+	}
+}

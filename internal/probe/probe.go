@@ -1,0 +1,101 @@
+// Package probe provides the active measurement primitives the paper's
+// experiment uses from each device: DNS resolution (through dnsclient
+// over the fabric), ICMP ping, traceroute and HTTP GET time-to-first-byte.
+package probe
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"cellcurtain/internal/dnsclient"
+	"cellcurtain/internal/vnet"
+)
+
+// VNetTransport adapts the fabric to dnsclient.Transport so the exact
+// same client logic runs over real UDP sockets and the simulation.
+type VNetTransport struct {
+	Fabric *vnet.Fabric
+	Src    netip.Addr
+}
+
+// Exchange implements dnsclient.Transport.
+func (t *VNetTransport) Exchange(server netip.Addr, payload []byte) ([]byte, time.Duration, error) {
+	return t.Fabric.RoundTrip(t.Src, server, 53, payload)
+}
+
+// NewResolverClient builds a DNS client sourced at src on the fabric.
+func NewResolverClient(f *vnet.Fabric, src netip.Addr) *dnsclient.Client {
+	return dnsclient.New(&VNetTransport{Fabric: f, Src: src}, nil)
+}
+
+// PingResult is one ping outcome.
+type PingResult struct {
+	Target netip.Addr
+	RTT    time.Duration
+	OK     bool
+}
+
+// Ping issues one echo request.
+func Ping(f *vnet.Fabric, src, dst netip.Addr) PingResult {
+	rtt, err := f.Ping(src, dst)
+	return PingResult{Target: dst, RTT: rtt, OK: err == nil}
+}
+
+// Traceroute walks the path and returns the hops.
+func Traceroute(f *vnet.Fabric, src, dst netip.Addr) []vnet.Hop {
+	hops, err := f.Traceroute(src, dst)
+	if err != nil {
+		return nil
+	}
+	return hops
+}
+
+// RespondingHops filters a traceroute to the hops that answered.
+func RespondingHops(hops []vnet.Hop) []netip.Addr {
+	var out []netip.Addr
+	for _, h := range hops {
+		if h.Responded() {
+			out = append(out, h.Addr)
+		}
+	}
+	return out
+}
+
+// HTTPResult is one HTTP GET outcome.
+type HTTPResult struct {
+	Target netip.Addr
+	// TTFB is the time to first byte of the response — the paper's
+	// replica-comparison metric (§2.2, Fig 2).
+	TTFB   time.Duration
+	OK     bool
+	Status string
+	Server string
+}
+
+// HTTPGet fetches the index page at dst with the given Host header and
+// measures time-to-first-byte.
+func HTTPGet(f *vnet.Fabric, src, dst netip.Addr, host string) HTTPResult {
+	req := fmt.Sprintf("GET / HTTP/1.1\r\nHost: %s\r\nUser-Agent: cellcurtain/1.0\r\nConnection: close\r\n\r\n", host)
+	resp, rtt, err := f.RoundTrip(src, dst, 80, []byte(req))
+	out := HTTPResult{Target: dst, TTFB: rtt}
+	if err != nil {
+		return out
+	}
+	line, rest, _ := strings.Cut(string(resp), "\r\n")
+	if !strings.HasPrefix(line, "HTTP/1.1 ") {
+		return out
+	}
+	out.OK = strings.HasPrefix(line, "HTTP/1.1 2")
+	out.Status = strings.TrimPrefix(line, "HTTP/1.1 ")
+	for _, h := range strings.Split(rest, "\r\n") {
+		if v, found := strings.CutPrefix(h, "Server: "); found {
+			out.Server = v
+		}
+		if h == "" {
+			break
+		}
+	}
+	return out
+}

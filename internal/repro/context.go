@@ -1,0 +1,218 @@
+// Package repro regenerates every table and figure in the paper's
+// evaluation from a simulated campaign. Each harness prints the same
+// rows/series the paper reports and returns key numbers for shape
+// assertions: who wins, by roughly what factor, where crossovers fall.
+package repro
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"cellcurtain/internal/carrier"
+	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/sim"
+	"cellcurtain/internal/trace"
+)
+
+// Context carries one world, its campaign and the collected dataset; all
+// harnesses read from it.
+type Context struct {
+	World    *sim.World
+	Campaign *trace.Campaign
+	Data     *dataset.Dataset
+
+	byCarrier map[string][]*dataset.Experiment
+}
+
+// NewContext builds a world, runs the campaign and indexes the dataset.
+func NewContext(cfg trace.Config) (*Context, error) {
+	return NewContextWorld(cfg, sim.Config{Seed: cfg.Seed})
+}
+
+// NewContextWorld is NewContext with explicit world configuration (used
+// by the ablation experiments to rebuild modified worlds).
+func NewContextWorld(cfg trace.Config, simCfg sim.Config) (*Context, error) {
+	w, err := sim.New(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	camp, err := trace.NewCampaign(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	data := camp.Collect()
+	return &Context{
+		World:     w,
+		Campaign:  camp,
+		Data:      data,
+		byCarrier: data.ByCarrier(),
+	}, nil
+}
+
+// QuickConfig is a reduced campaign for tests and benchmarks: the full
+// Table 1 population over a shorter window.
+func QuickConfig(seed uint64) trace.Config {
+	cfg := trace.DefaultConfig(seed)
+	cfg.End = cfg.Start.AddDate(0, 0, 21) // three weeks
+	cfg.Interval = 12 * time.Hour
+	return cfg
+}
+
+// Result is one regenerated artifact.
+type Result struct {
+	ID    string
+	Title string
+	// Text is the rendered table/series, matching the paper's rows.
+	Text string
+	// Metrics carries the key numbers the shape checks assert on.
+	Metrics map[string]float64
+}
+
+// Carriers returns carrier networks in the paper's presentation order.
+func (c *Context) Carriers() []*carrier.Network {
+	return c.World.Carriers
+}
+
+// Exps returns one carrier's experiments.
+func (c *Context) Exps(name string) []*dataset.Experiment {
+	return c.byCarrier[name]
+}
+
+// AllExps returns every experiment.
+func (c *Context) AllExps() []*dataset.Experiment {
+	return c.Data.Experiments
+}
+
+// USExps returns all experiments from the four US carriers combined.
+func (c *Context) USExps() []*dataset.Experiment {
+	var out []*dataset.Experiment
+	for _, name := range carrier.USCarriers() {
+		out = append(out, c.byCarrier[name]...)
+	}
+	return out
+}
+
+// table is a small helper for aligned text rendering.
+type table struct {
+	b  strings.Builder
+	tw *tabwriter.Writer
+}
+
+func newTable(title string) *table {
+	t := &table{}
+	fmt.Fprintf(&t.b, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	t.tw = tabwriter.NewWriter(&t.b, 2, 4, 2, ' ', 0)
+	return t
+}
+
+func (t *table) row(cols ...any) {
+	strs := make([]string, len(cols))
+	for i, c := range cols {
+		strs[i] = fmt.Sprint(c)
+	}
+	fmt.Fprintln(t.tw, strings.Join(strs, "\t"))
+}
+
+func (t *table) String() string {
+	t.tw.Flush()
+	return t.b.String()
+}
+
+// busiest returns the client with the most experiments for a carrier —
+// the representative device for longitudinal figures.
+func (c *Context) busiest(carrierName string) string {
+	counts := map[string]int{}
+	for _, e := range c.byCarrier[carrierName] {
+		counts[e.ClientID]++
+	}
+	ids := make([]string, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if counts[ids[a]] != counts[ids[b]] {
+			return counts[ids[a]] > counts[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	if len(ids) == 0 {
+		return ""
+	}
+	return ids[0]
+}
+
+// RunByID dispatches an experiment harness by its DESIGN.md identifier.
+func (c *Context) RunByID(id string) (Result, error) {
+	switch strings.ToUpper(id) {
+	case "T1":
+		return c.Table1(), nil
+	case "T2":
+		return c.Table2(), nil
+	case "T3":
+		return c.Table3(), nil
+	case "T4":
+		return c.Table4(), nil
+	case "T5":
+		return c.Table5(), nil
+	case "F2":
+		return c.Fig2(), nil
+	case "F3":
+		return c.Fig3(), nil
+	case "F4":
+		return c.Fig4(), nil
+	case "F5":
+		return c.Fig5(), nil
+	case "F6":
+		return c.Fig6(), nil
+	case "F7":
+		return c.Fig7(), nil
+	case "F8":
+		return c.Fig8(), nil
+	case "F9":
+		return c.Fig9(), nil
+	case "F10":
+		return c.Fig10(), nil
+	case "F11":
+		return c.Fig11(), nil
+	case "F12":
+		return c.Fig12(), nil
+	case "F13":
+		return c.Fig13(), nil
+	case "F14":
+		return c.Fig14(), nil
+	case "EGRESS":
+		return c.Egress(), nil
+	case "ECS":
+		return c.ECS(), nil
+	case "ABL-TTL":
+		return c.ABLTTL(), nil
+	case "ABL-CONSISTENCY":
+		return c.ABLConsistency(), nil
+	case "ABL-GRANULARITY":
+		return c.ABLGranularity(), nil
+	default:
+		return Result{}, fmt.Errorf("repro: unknown experiment id %q", id)
+	}
+}
+
+// IDs lists every experiment identifier in paper order.
+func IDs() []string {
+	return []string{"T1", "T2", "F2", "F3", "T3", "F4", "F5", "F6", "F7",
+		"T4", "F8", "F9", "F10", "EGRESS", "T5", "F11", "F12", "F13", "F14"}
+}
+
+// All runs every harness.
+func (c *Context) All() []Result {
+	var out []Result
+	for _, id := range IDs() {
+		r, err := c.RunByID(id)
+		if err != nil {
+			panic(err) // IDs() and RunByID are maintained together
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cellcurtain/internal/carrier"
+)
+
+func TestECSWhatIf(t *testing.T) {
+	r := sharedContext(t).ECS()
+	if r.Text == "" {
+		t.Fatal("empty ECS result")
+	}
+	carriers := 0
+	positive := 0
+	for _, cn := range append(carrier.USCarriers(), carrier.KRCarriers()...) {
+		gain, ok := r.Metrics["gain_p50_"+cn]
+		if !ok {
+			continue
+		}
+		carriers++
+		if gain >= 0 {
+			positive++
+		}
+		// ECS-mapped replicas should never be dramatically worse at the
+		// median: the client prefix is strictly better localization
+		// input than an opaque resolver prefix.
+		if gain < -20 {
+			t.Errorf("%s: ECS made replicas %f ms worse at the median", cn, -gain)
+		}
+	}
+	if carriers < 5 {
+		t.Fatalf("ECS measured only %d carriers", carriers)
+	}
+	if positive < carriers-1 {
+		t.Errorf("ECS should improve (or match) replica TTFB for nearly all carriers; positive for %d/%d", positive, carriers)
+	}
+}
+
+func TestABLTTLShape(t *testing.T) {
+	r := sharedContext(t).ABLTTL()
+	m20, ok20 := r.Metrics["miss_ttl20"]
+	m60, ok60 := r.Metrics["miss_ttl60"]
+	if !ok20 || !ok60 {
+		t.Fatalf("missing TTL buckets: %v", r.Metrics)
+	}
+	if m20 <= m60 {
+		t.Errorf("shorter TTLs must miss more: ttl20=%.2f ttl60=%.2f", m20, m60)
+	}
+	if m20 < 0.05 || m20 > 0.6 {
+		t.Errorf("ttl20 miss fraction = %.2f, implausible", m20)
+	}
+}
+
+func TestABLConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation rebuilds a world; skipped in -short mode")
+	}
+	r := sharedContext(t).ABLConsistency()
+	if strings.Contains(r.Text, "ablation failed") {
+		t.Fatal(r.Text)
+	}
+	improved := 0
+	counted := 0
+	for _, cn := range append(carrier.USCarriers(), carrier.KRCarriers()...) {
+		base, ok1 := r.Metrics["base_p90_"+cn]
+		stable, ok2 := r.Metrics["stable_p90_"+cn]
+		if !ok1 || !ok2 {
+			continue
+		}
+		counted++
+		if stable <= base {
+			improved++
+		}
+	}
+	if counted < 5 {
+		t.Fatalf("ablation covered only %d carriers", counted)
+	}
+	if improved < counted-1 {
+		t.Errorf("stable pairings should reduce p90 inflation for nearly all carriers (%d/%d)", improved, counted)
+	}
+}
+
+func TestExtensionDispatch(t *testing.T) {
+	c := sharedContext(t)
+	if len(ExtensionIDs()) != 4 {
+		t.Fatalf("extensions = %v", ExtensionIDs())
+	}
+	for _, id := range []string{"ECS", "ABL-TTL"} {
+		r, err := c.RunByID(id)
+		if err != nil || r.ID != id {
+			t.Fatalf("dispatch %s: %v", id, err)
+		}
+	}
+}
+
+func TestABLGranularity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation rebuilds worlds; skipped in -short mode")
+	}
+	r := sharedContext(t).ABLGranularity()
+	if strings.Contains(r.Text, "ablation failed") {
+		t.Fatal(r.Text)
+	}
+	for _, bits := range []int{32, 24, 16} {
+		if _, ok := r.Metrics[fmt.Sprintf("inflation_p90_bits%d", bits)]; !ok {
+			t.Fatalf("missing /%d bucket: %v", bits, r.Metrics)
+		}
+	}
+	// Coarser mapping cannot produce MORE /24-equal sets than exact-IP
+	// mapping produces by chance; at minimum the /16 world should keep a
+	// healthy equal fraction and the /32 world should not exceed it much.
+	z16 := r.Metrics["fig14_zero_bits16"]
+	z32 := r.Metrics["fig14_zero_bits32"]
+	if z16 <= 0 || z16 > 1 || z32 < 0 || z32 > 1 {
+		t.Fatalf("zero fractions out of range: /16=%v /32=%v", z16, z32)
+	}
+}

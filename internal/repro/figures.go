@@ -1,0 +1,344 @@
+package repro
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cellcurtain/internal/analysis"
+	"cellcurtain/internal/carrier"
+	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/radio"
+	"cellcurtain/internal/stats"
+)
+
+// Fig2 regenerates Figure 2: CDFs of the percent increase in replica
+// TTFB over each user's best replica, per carrier (and per domain for the
+// four domains the paper plots).
+func (c *Context) Fig2() Result {
+	t := newTable("Fig 2: replica TTFB inflation over each user's best replica (percent)")
+	t.row("carrier", "p25", "p50", "p75", "p90", "frac>50%", "frac>100%")
+	m := map[string]float64{}
+	for _, cn := range c.Carriers() {
+		s := analysis.InflationCDF(c.Exps(cn.Name), "")
+		if s.Len() == 0 {
+			continue
+		}
+		fracGT50 := 1 - s.FracBelow(50)
+		fracGT100 := 1 - s.FracBelow(100)
+		t.row(cn.DisplayName,
+			fmt.Sprintf("%.0f", s.Percentile(25)), fmt.Sprintf("%.0f", s.Percentile(50)),
+			fmt.Sprintf("%.0f", s.Percentile(75)), fmt.Sprintf("%.0f", s.Percentile(90)),
+			fmt.Sprintf("%.2f", fracGT50), fmt.Sprintf("%.2f", fracGT100))
+		m["p50_"+cn.Name] = s.Percentile(50)
+		m["p90_"+cn.Name] = s.Percentile(90)
+		m["fracgt50_"+cn.Name] = fracGT50
+		m["fracgt100_"+cn.Name] = fracGT100
+	}
+	// Per-domain view for one carrier, as the paper panels by domain.
+	t.row("")
+	t.row("att by domain", "p50", "p90", "", "", "", "")
+	for _, d := range c.World.CDN.Domains[:4] {
+		s := analysis.InflationCDF(c.Exps("att"), string(d.Name))
+		if s.Len() == 0 {
+			continue
+		}
+		t.row("  "+string(d.Name), fmt.Sprintf("%.0f", s.Percentile(50)),
+			fmt.Sprintf("%.0f", s.Percentile(90)), "", "", "", "")
+	}
+	return Result{ID: "F2", Title: "Replica inflation", Text: t.String(), Metrics: m}
+}
+
+// Fig3 regenerates Figure 3: DNS resolution time grouped by the radio
+// technology active during the lookup, per carrier.
+func (c *Context) Fig3() Result {
+	t := newTable("Fig 3: resolution time by radio technology (ms, median / p90)")
+	m := map[string]float64{}
+	for _, cn := range c.Carriers() {
+		groups := analysis.RadioGroups(c.Exps(cn.Name))
+		techs := make([]string, 0, len(groups))
+		for tech := range groups {
+			techs = append(techs, tech)
+		}
+		sort.Slice(techs, func(a, b int) bool {
+			return groups[techs[a]].Median() < groups[techs[b]].Median()
+		})
+		for _, tech := range techs {
+			s := groups[tech]
+			if s.Len() < 5 {
+				continue
+			}
+			t.row(cn.DisplayName, tech,
+				fmt.Sprintf("%.0f", s.Median()), fmt.Sprintf("%.0f", s.Percentile(90)),
+				fmt.Sprintf("n=%d", s.Len()))
+			m[cn.Name+"_"+tech+"_p50"] = s.Median()
+		}
+	}
+	return Result{ID: "F3", Title: "Radio technology bands", Text: t.String(), Metrics: m}
+}
+
+// Fig4 regenerates Figure 4: client ping latency to the client-facing
+// versus external-facing resolvers.
+func (c *Context) Fig4() Result {
+	t := newTable("Fig 4: client latency to client-facing vs external resolvers (ms)")
+	t.row("carrier", "configured p50", "external p50", "external reach")
+	m := map[string]float64{}
+	for _, cn := range c.Carriers() {
+		samples, reach := analysis.ResolverPings(c.Exps(cn.Name))
+		cfg := samples["local/configured"]
+		ext := samples["local/external"]
+		cfgMed, extMed := -1.0, -1.0
+		if cfg != nil && cfg.Len() > 0 {
+			cfgMed = cfg.Median()
+		}
+		if ext != nil && ext.Len() > 0 {
+			extMed = ext.Median()
+		}
+		t.row(cn.DisplayName, fmt.Sprintf("%.0f", cfgMed), fmt.Sprintf("%.0f", extMed),
+			fmt.Sprintf("%.2f", reach["local/external"]))
+		m["cfg_p50_"+cn.Name] = cfgMed
+		m["ext_p50_"+cn.Name] = extMed
+		m["ext_reach_"+cn.Name] = reach["local/external"]
+	}
+	return Result{ID: "F4", Title: "Resolver distance", Text: t.String(), Metrics: m}
+}
+
+func (c *Context) resolutionFigure(id, title string, names []string) Result {
+	t := newTable(title)
+	t.row("carrier", "p10", "p50", "p80", "p95")
+	m := map[string]float64{}
+	for _, name := range names {
+		cn, _ := c.World.Carrier(name)
+		s := analysis.ResolutionSample(c.Exps(name), dataset.KindLocal, string(radio.LTE))
+		if s.Len() == 0 {
+			continue
+		}
+		t.row(cn.DisplayName,
+			fmt.Sprintf("%.0f", s.Percentile(10)), fmt.Sprintf("%.0f", s.Percentile(50)),
+			fmt.Sprintf("%.0f", s.Percentile(80)), fmt.Sprintf("%.0f", s.Percentile(95)))
+		m["p50_"+name] = s.Percentile(50)
+		m["p80_"+name] = s.Percentile(80)
+		m["p95_"+name] = s.Percentile(95)
+	}
+	return Result{ID: id, Title: title, Text: t.String(), Metrics: m}
+}
+
+// Fig5 regenerates Figure 5: LTE resolution-time CDFs, US carriers.
+func (c *Context) Fig5() Result {
+	return c.resolutionFigure("F5", "Fig 5: DNS resolution time, US carriers (LTE, ms)", carrier.USCarriers())
+}
+
+// Fig6 regenerates Figure 6: LTE resolution-time CDFs, SK carriers.
+func (c *Context) Fig6() Result {
+	return c.resolutionFigure("F6", "Fig 6: DNS resolution time, South Korean carriers (LTE, ms)", carrier.KRCarriers())
+}
+
+// Fig7 regenerates Figure 7: first vs immediate second lookup (cache
+// effect), US carriers combined.
+func (c *Context) Fig7() Result {
+	us := c.USExps()
+	first := analysis.ResolutionSample(us, dataset.KindLocal, string(radio.LTE))
+	second := analysis.SecondLookupSample(us, dataset.KindLocal, string(radio.LTE))
+	t := newTable("Fig 7: back-to-back lookups, US carriers combined (ms)")
+	t.row("lookup", "p50", "p75", "p90", "p99")
+	for _, row := range []struct {
+		name string
+		s    *stats.Sample
+	}{{"1st", first}, {"2nd", second}} {
+		t.row(row.name, fmt.Sprintf("%.0f", row.s.Percentile(50)),
+			fmt.Sprintf("%.0f", row.s.Percentile(75)),
+			fmt.Sprintf("%.0f", row.s.Percentile(90)),
+			fmt.Sprintf("%.0f", row.s.Percentile(99)))
+	}
+	// The paper measures the miss rate with paired differencing: a first
+	// lookup that exceeds its immediate re-lookup by more than the radio
+	// jitter paid an upstream fetch.
+	missFrac := analysis.PairedMissFraction(us, dataset.KindLocal, 18*time.Millisecond)
+	t.row("miss fraction", fmt.Sprintf("%.2f", missFrac), "", "", "")
+	// KS distance quantifies how far the miss tail pushes the first-lookup
+	// distribution away from the pure-hit second-lookup distribution.
+	ks := stats.KS(first, second)
+	t.row("KS distance", fmt.Sprintf("%.3f", ks), "", "", "")
+	m := map[string]float64{
+		"first_p50":  first.Percentile(50),
+		"second_p50": second.Percentile(50),
+		"first_p90":  first.Percentile(90),
+		"second_p90": second.Percentile(90),
+		"miss_frac":  missFrac,
+		"ks":         ks,
+	}
+	return Result{ID: "F7", Title: "Cache effect", Text: t.String(), Metrics: m}
+}
+
+// Fig8 regenerates Figure 8: external resolvers observed by one client
+// over time — cumulative unique IPs and /24 prefixes.
+func (c *Context) Fig8() Result {
+	t := newTable("Fig 8: external resolvers seen by a representative client over time")
+	t.row("carrier", "client", "obs", "unique IPs", "unique /24s")
+	m := map[string]float64{}
+	for _, cn := range c.Carriers() {
+		id := c.busiest(cn.Name)
+		tl := analysis.ResolverTimeline(c.Exps(cn.Name), id, dataset.KindLocal)
+		if len(tl) == 0 {
+			continue
+		}
+		ips, p24 := analysis.CumulativeUnique(tl)
+		t.row(cn.DisplayName, id, len(tl), ips[len(ips)-1], p24[len(p24)-1])
+		m["ips_"+cn.Name] = float64(ips[len(ips)-1])
+		m["p24_"+cn.Name] = float64(p24[len(p24)-1])
+	}
+	return Result{ID: "F8", Title: "Resolver churn", Text: t.String(), Metrics: m}
+}
+
+// Fig9 regenerates Figure 9: resolver associations for clients filtered
+// to a static (≤1 km) location.
+func (c *Context) Fig9() Result {
+	t := newTable("Fig 9: resolver churn at a static location (<= 1 km radius)")
+	t.row("carrier", "client", "static obs", "unique IPs", "unique /24s")
+	m := map[string]float64{}
+	for _, cn := range c.Carriers() {
+		id := c.busiest(cn.Name)
+		static := analysis.StaticOnly(c.Exps(cn.Name), id, 1.0)
+		tl := analysis.ResolverTimeline(static, id, dataset.KindLocal)
+		if len(tl) == 0 {
+			continue
+		}
+		ips, p24 := analysis.CumulativeUnique(tl)
+		t.row(cn.DisplayName, id, len(tl), ips[len(ips)-1], p24[len(p24)-1])
+		m["ips_"+cn.Name] = float64(ips[len(ips)-1])
+		m["p24_"+cn.Name] = float64(p24[len(p24)-1])
+		m["obs_"+cn.Name] = float64(len(tl))
+	}
+	return Result{ID: "F9", Title: "Static-location churn", Text: t.String(), Metrics: m}
+}
+
+// Fig10 regenerates Figure 10: cosine similarity of buzzfeed.com replica
+// sets between resolvers in the same /24 vs different /24s.
+func (c *Context) Fig10() Result {
+	t := newTable("Fig 10: cosine similarity of buzzfeed.com replica maps")
+	t.row("carrier", "same-/24 pairs", "mean sim", "diff-/24 pairs", "mean sim", "frac diff==0")
+	m := map[string]float64{}
+	for _, cn := range c.Carriers() {
+		vectors := analysis.ReplicaVectors(c.Exps(cn.Name), "buzzfeed.com", 2)
+		same, diff := analysis.CosineSplit(vectors)
+		sm, dm := mean(same), mean(diff)
+		zeroFrac := analysis.FracAtOrBelow(diff, 1e-9)
+		t.row(cn.DisplayName, len(same), fmt.Sprintf("%.2f", sm),
+			len(diff), fmt.Sprintf("%.2f", dm), fmt.Sprintf("%.2f", zeroFrac))
+		if len(same) > 0 {
+			m["same_mean_"+cn.Name] = sm
+		}
+		if len(diff) > 0 {
+			m["diff_mean_"+cn.Name] = dm
+			m["diff_zero_"+cn.Name] = zeroFrac
+		}
+	}
+	return Result{ID: "F10", Title: "Replica map similarity", Text: t.String(), Metrics: m}
+}
+
+// Fig11 regenerates Figure 11: ping latencies to public resolvers versus
+// the carrier-provided LDNS.
+func (c *Context) Fig11() Result {
+	t := newTable("Fig 11: ping latency to public DNS vs cellular LDNS (ms, median)")
+	t.row("carrier", "cell external", "google vip", "opendns vip")
+	m := map[string]float64{}
+	for _, cn := range c.Carriers() {
+		samples, _ := analysis.ResolverPings(c.Exps(cn.Name))
+		med := func(key string) float64 {
+			if s := samples[key]; s != nil && s.Len() > 0 {
+				return s.Median()
+			}
+			return -1
+		}
+		cell, g, o := med("local/external"), med("google/vip"), med("opendns/vip")
+		t.row(cn.DisplayName, fmt.Sprintf("%.0f", cell), fmt.Sprintf("%.0f", g), fmt.Sprintf("%.0f", o))
+		m["cell_"+cn.Name] = cell
+		m["google_"+cn.Name] = g
+		m["opendns_"+cn.Name] = o
+	}
+	return Result{ID: "F11", Title: "Public resolver distance", Text: t.String(), Metrics: m}
+}
+
+// Fig12 regenerates Figure 12: Google DNS resolver consistency over time
+// per client (IPs and /24s — each /24 is a distinct cluster location).
+func (c *Context) Fig12() Result {
+	t := newTable("Fig 12: google resolver consistency per representative client")
+	t.row("carrier", "client", "obs", "unique IPs", "unique /24s")
+	m := map[string]float64{}
+	for _, cn := range c.Carriers() {
+		id := c.busiest(cn.Name)
+		tl := analysis.ResolverTimeline(c.Exps(cn.Name), id, dataset.KindGoogle)
+		if len(tl) == 0 {
+			continue
+		}
+		ips, p24 := analysis.CumulativeUnique(tl)
+		t.row(cn.DisplayName, id, len(tl), ips[len(ips)-1], p24[len(p24)-1])
+		m["ips_"+cn.Name] = float64(ips[len(ips)-1])
+		m["p24_"+cn.Name] = float64(p24[len(p24)-1])
+	}
+	return Result{ID: "F12", Title: "Google anycast churn", Text: t.String(), Metrics: m}
+}
+
+// Fig13 regenerates Figure 13: resolution time through the carrier DNS
+// versus Google and OpenDNS.
+func (c *Context) Fig13() Result {
+	t := newTable("Fig 13: resolution time local vs public DNS (LTE, ms)")
+	t.row("carrier", "local p50", "google p50", "opendns p50", "local p95", "google p95")
+	m := map[string]float64{}
+	for _, cn := range c.Carriers() {
+		exps := c.Exps(cn.Name)
+		lte := string(radio.LTE)
+		l := analysis.ResolutionSample(exps, dataset.KindLocal, lte)
+		g := analysis.ResolutionSample(exps, dataset.KindGoogle, lte)
+		o := analysis.ResolutionSample(exps, dataset.KindOpenDNS, lte)
+		t.row(cn.DisplayName,
+			fmt.Sprintf("%.0f", l.Median()), fmt.Sprintf("%.0f", g.Median()),
+			fmt.Sprintf("%.0f", o.Median()),
+			fmt.Sprintf("%.0f", l.Percentile(95)), fmt.Sprintf("%.0f", g.Percentile(95)))
+		m["local_p50_"+cn.Name] = l.Median()
+		m["google_p50_"+cn.Name] = g.Median()
+		m["opendns_p50_"+cn.Name] = o.Median()
+		m["local_p95_"+cn.Name] = l.Percentile(95)
+		m["google_p95_"+cn.Name] = g.Percentile(95)
+		// The paper's tail claim is about spread: public resolvers show
+		// "lower variance in response times and a shorter tail".
+		m["local_spread_"+cn.Name] = l.Percentile(95) - l.Median()
+		m["google_spread_"+cn.Name] = g.Percentile(95) - g.Median()
+	}
+	return Result{ID: "F13", Title: "Public resolution time", Text: t.String(), Metrics: m}
+}
+
+// Fig14 regenerates Figure 14: relative replica TTFB of public-DNS-chosen
+// replicas versus local-DNS-chosen ones (/24-aggregated).
+func (c *Context) Fig14() Result {
+	t := newTable("Fig 14: relative replica latency, public vs local DNS (percent, /24-aggregated)")
+	t.row("carrier", "kind", "frac==0", "frac<=0 (public >= local)", "p50", "p90")
+	m := map[string]float64{}
+	for _, cn := range c.Carriers() {
+		for _, kind := range []dataset.ResolverKind{dataset.KindGoogle, dataset.KindOpenDNS} {
+			s := analysis.RelativeReplicaPerf(c.Exps(cn.Name), kind)
+			if s.Len() == 0 {
+				continue
+			}
+			zero := s.FracBelow(0) - s.FracBelow(-1e-9)
+			atOrBelow := s.FracBelow(0)
+			t.row(cn.DisplayName, string(kind),
+				fmt.Sprintf("%.2f", zero), fmt.Sprintf("%.2f", atOrBelow),
+				fmt.Sprintf("%.0f", s.Percentile(50)), fmt.Sprintf("%.0f", s.Percentile(90)))
+			m[string(kind)+"_zero_"+cn.Name] = zero
+			m[string(kind)+"_eqorbetter_"+cn.Name] = atOrBelow
+		}
+	}
+	return Result{ID: "F14", Title: "Public replica performance", Text: t.String(), Metrics: m}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return -1
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

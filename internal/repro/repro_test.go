@@ -1,0 +1,418 @@
+package repro
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"cellcurtain/internal/carrier"
+)
+
+// The context is expensive (a three-week campaign over 158 clients), so
+// all shape tests share one.
+var (
+	ctxOnce sync.Once
+	ctx     *Context
+	ctxErr  error
+)
+
+func sharedContext(t *testing.T) *Context {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("campaign context skipped in -short mode")
+	}
+	ctxOnce.Do(func() {
+		ctx, ctxErr = NewContext(QuickConfig(2014))
+	})
+	if ctxErr != nil {
+		t.Fatal(ctxErr)
+	}
+	return ctx
+}
+
+func metric(t *testing.T, r Result, key string) float64 {
+	t.Helper()
+	v, ok := r.Metrics[key]
+	if !ok {
+		t.Fatalf("%s: metric %q missing; have %v", r.ID, key, r.Metrics)
+	}
+	return v
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := sharedContext(t).Table1()
+	if metric(t, r, "clients_total") != 158 {
+		t.Fatalf("total clients = %v", r.Metrics["clients_total"])
+	}
+	if metric(t, r, "clients_verizon") != 64 || metric(t, r, "clients_lgu") != 4 {
+		t.Fatal("per-carrier counts off")
+	}
+	if !strings.Contains(r.Text, "Verizon") {
+		t.Fatal("table text incomplete")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := sharedContext(t).Table2()
+	if metric(t, r, "domains") != 9 || metric(t, r, "cnamed") != 9 {
+		t.Fatalf("Table 2: %v", r.Metrics)
+	}
+	if !strings.Contains(r.Text, "m.yelp.com") || !strings.Contains(r.Text, "buzzfeed.com") {
+		t.Fatal("paper's legible domains missing")
+	}
+}
+
+// Fig 2 shape: clients are consistently directed to replicas 50-100%+
+// worse than their best; every carrier shows a meaningful inflated tail
+// and some carriers a severe one.
+func TestFig2Shape(t *testing.T) {
+	r := sharedContext(t).Fig2()
+	for _, cn := range carrier.USCarriers() {
+		if metric(t, r, "p90_"+cn) < 40 {
+			t.Errorf("%s: p90 inflation = %.0f%%, paper reports 50-100%%+ tails", cn, r.Metrics["p90_"+cn])
+		}
+	}
+	severe := 0
+	for _, cn := range append(carrier.USCarriers(), carrier.KRCarriers()...) {
+		if metric(t, r, "fracgt100_"+cn) > 0.10 {
+			severe++
+		}
+	}
+	if severe == 0 {
+		t.Error("no carrier shows a severe (>100%) inflation tail; the paper's extreme case is >400% in 40% of accesses")
+	}
+}
+
+// Fig 3 shape: defined bands — LTE < 3G < 2G, with ~50ms LTE->EVDO gap on
+// CDMA carriers and ~1s 1xRTT resolutions.
+func TestFig3Shape(t *testing.T) {
+	r := sharedContext(t).Fig3()
+	lte := metric(t, r, "verizon_LTE_p50")
+	if evdo, ok := r.Metrics["verizon_EVDO_A_p50"]; ok {
+		gap := evdo - lte
+		if gap < 25 || gap > 120 {
+			t.Errorf("verizon LTE->EVDO gap = %.0f ms, paper reports ~50", gap)
+		}
+	}
+	if onex, ok := r.Metrics["verizon_1xRTT_p50"]; ok && onex < 600 {
+		t.Errorf("1xRTT median = %.0f ms, paper reports ~1s", onex)
+	}
+	for _, cn := range []string{"att", "tmobile", "sktelecom"} {
+		l, lok := r.Metrics[cn+"_LTE_p50"]
+		u, uok := r.Metrics[cn+"_UTMS_p50"]
+		if lok && uok && u <= l {
+			t.Errorf("%s: UMTS (%.0f) should be slower than LTE (%.0f)", cn, u, l)
+		}
+	}
+}
+
+// Table 3 shape: resolver counts and consistency per carrier, including
+// Verizon's 100%.
+func TestTable3Shape(t *testing.T) {
+	r := sharedContext(t).Table3()
+	if got := metric(t, r, "consistency_verizon"); got < 0.995 {
+		t.Errorf("verizon consistency = %.3f, want 1.0", got)
+	}
+	targets := map[string]float64{"att": 0.45, "sprint": 0.62, "tmobile": 0.52, "sktelecom": 0.55, "lgu": 0.40}
+	for cn, want := range targets {
+		got := metric(t, r, "consistency_"+cn)
+		if got < want-0.15 || got > want+0.15 {
+			t.Errorf("%s consistency = %.2f, target %.2f", cn, got, want)
+		}
+	}
+	// SK pool carriers expose many externals within 1-2 /24s.
+	if metric(t, r, "ext24_sktelecom") > 1 || metric(t, r, "ext24_lgu") > 2 {
+		t.Error("SK external /24 spans too wide")
+	}
+	if metric(t, r, "ext_lgu") < 20 {
+		t.Errorf("lgu externals seen = %v, expected tens", r.Metrics["ext_lgu"])
+	}
+	// Anycast carriers reveal far more externals than configured addrs.
+	if metric(t, r, "ext_att") < 3*metric(t, r, "cf_att") {
+		t.Error("att should reveal many more externals than client-facing addrs")
+	}
+}
+
+// Fig 4 shape: configured resolver closer than external where externals
+// respond; SK Telecom collocated (nearly equal).
+func TestFig4Shape(t *testing.T) {
+	r := sharedContext(t).Fig4()
+	for _, cn := range []string{"att", "sprint", "lgu"} {
+		cfg, ext := metric(t, r, "cfg_p50_"+cn), metric(t, r, "ext_p50_"+cn)
+		if ext <= cfg {
+			t.Errorf("%s: external (%.0f) should be farther than configured (%.0f)", cn, ext, cfg)
+		}
+	}
+	skCfg, skExt := metric(t, r, "cfg_p50_sktelecom"), metric(t, r, "ext_p50_sktelecom")
+	if diff := skExt - skCfg; diff < -6 || diff > 6 {
+		t.Errorf("sktelecom resolvers should be collocated, diff = %.0f ms", diff)
+	}
+	// Verizon/T-Mobile externals mostly unresponsive to client probes.
+	if metric(t, r, "ext_reach_verizon") > 0.3 {
+		t.Errorf("verizon external reach from clients = %.2f, want small", r.Metrics["ext_reach_verizon"])
+	}
+}
+
+// Fig 5/6 shape: medians 30-50 ms under LTE; tails beyond p80; SK shows a
+// strong bimodal step (trans-pacific misses).
+func TestFig5And6Shape(t *testing.T) {
+	c := sharedContext(t)
+	f5 := c.Fig5()
+	for _, cn := range carrier.USCarriers() {
+		med := metric(t, f5, "p50_"+cn)
+		if med < 25 || med > 60 {
+			t.Errorf("%s LTE median = %.0f ms, paper reports 30-50", cn, med)
+		}
+		if tail := metric(t, f5, "p95_"+cn); tail < med+15 {
+			t.Errorf("%s: expected a long resolution tail, p95=%.0f p50=%.0f", cn, tail, med)
+		}
+	}
+	f6 := c.Fig6()
+	for _, cn := range carrier.KRCarriers() {
+		med := metric(t, f6, "p50_"+cn)
+		if med < 20 || med > 60 {
+			t.Errorf("%s LTE median = %.0f ms", cn, med)
+		}
+		// Bimodality: p95 dominated by trans-pacific upstream fetches.
+		if tail := metric(t, f6, "p95_"+cn); tail < med+80 {
+			t.Errorf("%s: SK bimodal step missing, p95=%.0f p50=%.0f", cn, tail, med)
+		}
+	}
+}
+
+// Fig 7 shape: ~20% cache misses on first lookups; second lookups hit.
+func TestFig7Shape(t *testing.T) {
+	r := sharedContext(t).Fig7()
+	miss := metric(t, r, "miss_frac")
+	if miss < 0.10 || miss > 0.38 {
+		t.Errorf("miss fraction = %.2f, paper reports ~0.20", miss)
+	}
+	if metric(t, r, "first_p90") <= metric(t, r, "second_p90")+2 {
+		t.Error("first lookups must show the miss tail that second lookups lack")
+	}
+}
+
+// Table 4 shape: only Verizon and AT&T answer a majority of outside
+// pings; nothing ever answers traceroute.
+func TestTable4Shape(t *testing.T) {
+	r := sharedContext(t).Table4()
+	for _, cn := range []string{"att", "sprint", "tmobile", "verizon", "sktelecom", "lgu"} {
+		if metric(t, r, "traceroute_"+cn) != 0 {
+			t.Errorf("%s: traceroute penetrated the carrier", cn)
+		}
+	}
+	for _, cn := range []string{"verizon", "att"} {
+		if metric(t, r, "ping_"+cn) < metric(t, r, "total_"+cn)/2 {
+			t.Errorf("%s should answer a majority of outside pings", cn)
+		}
+	}
+	for _, cn := range []string{"sprint", "sktelecom", "lgu"} {
+		if metric(t, r, "ping_"+cn) != 0 {
+			t.Errorf("%s externals must not answer outside pings", cn)
+		}
+	}
+}
+
+// Fig 8 shape: clients see multiple external IPs over time; /24 span is
+// wide for the US anycast/pool carriers and <= 2 for the SK carriers.
+func TestFig8Shape(t *testing.T) {
+	r := sharedContext(t).Fig8()
+	for _, cn := range []string{"att", "tmobile"} {
+		if metric(t, r, "p24_"+cn) < 2 {
+			t.Errorf("%s: resolver changes should span multiple /24s", cn)
+		}
+	}
+	for _, cn := range carrier.KRCarriers() {
+		if metric(t, r, "p24_"+cn) > 2 {
+			t.Errorf("%s: SK changes must stay within 2 /24s", cn)
+		}
+	}
+	if metric(t, r, "ips_lgu") < 8 {
+		t.Errorf("lgu client should churn through many resolver IPs, saw %v", r.Metrics["ips_lgu"])
+	}
+	if metric(t, r, "ips_verizon") > 2 {
+		t.Errorf("verizon mappings are stable; client saw %v externals", r.Metrics["ips_verizon"])
+	}
+}
+
+// Fig 9 shape: churn persists even at a static location.
+func TestFig9Shape(t *testing.T) {
+	r := sharedContext(t).Fig9()
+	churny := 0
+	for _, cn := range []string{"att", "tmobile", "sprint", "sktelecom", "lgu"} {
+		if v, ok := r.Metrics["ips_"+cn]; ok && v > 1 {
+			churny++
+		}
+	}
+	if churny < 3 {
+		t.Errorf("static clients should still shift resolvers (paper Fig 9); churny carriers = %d", churny)
+	}
+}
+
+// Fig 10 shape: same-/24 resolver pairs see nearly identical replica
+// sets; different /24s are largely independent, with >60% at similarity 0
+// paper-wide.
+func TestFig10Shape(t *testing.T) {
+	r := sharedContext(t).Fig10()
+	for cn, v := range r.Metrics {
+		if strings.HasPrefix(cn, "same_mean_") && v < 0.85 {
+			t.Errorf("%s = %.2f, same-/24 similarity should be ~1", cn, v)
+		}
+	}
+	// Cross-/24 independence: assert on the US carriers; the SK market
+	// has too few CDN sites for buzzfeed.com's provider to differentiate
+	// (EXPERIMENTS.md discusses the deviation).
+	zeroSum, zeroN := 0.0, 0
+	for _, cn := range carrier.USCarriers() {
+		if v, ok := r.Metrics["diff_zero_"+cn]; ok {
+			zeroSum += v
+			zeroN++
+		}
+	}
+	if zeroN == 0 {
+		t.Fatal("no cross-/24 pairs measured")
+	}
+	if avg := zeroSum / float64(zeroN); avg < 0.5 {
+		t.Errorf("US cross-/24 zero-similarity fraction = %.2f, paper reports >0.6", avg)
+	}
+}
+
+// §5.2 shape: observed egress counts are far above the 3G-era 4-6 and
+// scale with the provisioned counts.
+func TestEgressShape(t *testing.T) {
+	r := sharedContext(t).Egress()
+	for _, cn := range carrier.USCarriers() {
+		obs := metric(t, r, "observed_"+cn)
+		if obs < 7 {
+			t.Errorf("%s: observed egresses = %.0f, should far exceed the 4-6 of the 3G era", cn, obs)
+		}
+		if obs > metric(t, r, "provisioned_"+cn) {
+			t.Errorf("%s: observed more egresses than provisioned", cn)
+		}
+	}
+	if metric(t, r, "observed_verizon") <= metric(t, r, "observed_att") {
+		t.Error("verizon (62 egresses) should reveal more than att (11)")
+	}
+}
+
+// Table 5 shape: Google exposes several times more resolver IPs than the
+// carrier DNS, but similar /24 counts.
+func TestTable5Shape(t *testing.T) {
+	r := sharedContext(t).Table5()
+	for _, cn := range []string{"att", "verizon", "tmobile"} {
+		g, l := metric(t, r, "google_ips_"+cn), metric(t, r, "local_ips_"+cn)
+		if g < 2*l {
+			t.Errorf("%s: google IPs (%.0f) should dwarf local (%.0f) — paper reports >4x", cn, g, l)
+		}
+		g24 := metric(t, r, "google_24_"+cn)
+		if g24 < 2 || g24 > 30 {
+			t.Errorf("%s: google /24s = %.0f, should be within the 30 documented clusters", cn, g24)
+		}
+	}
+}
+
+// Fig 11 shape: the cellular external resolver is closer than public DNS
+// for carriers whose resolvers answer; SK public DNS pays a big penalty.
+func TestFig11Shape(t *testing.T) {
+	r := sharedContext(t).Fig11()
+	for _, cn := range []string{"att", "sprint", "sktelecom", "lgu"} {
+		cell, g := metric(t, r, "cell_"+cn), metric(t, r, "google_"+cn)
+		if cell < 0 || g < 0 {
+			t.Errorf("%s: missing ping medians", cn)
+			continue
+		}
+		if cell >= g {
+			t.Errorf("%s: cell external (%.0f ms) should be closer than google (%.0f ms)", cn, cell, g)
+		}
+	}
+}
+
+// Fig 12 shape: despite one anycast VIP, clients land on multiple /24
+// clusters over time.
+func TestFig12Shape(t *testing.T) {
+	r := sharedContext(t).Fig12()
+	multi := 0
+	for key, v := range r.Metrics {
+		if strings.HasPrefix(key, "p24_") && v > 1 {
+			multi++
+		}
+	}
+	if multi < 3 {
+		t.Errorf("google /24 churn visible for only %d carriers; anycast inconsistency missing", multi)
+	}
+}
+
+// Fig 13 shape: local DNS resolves faster at the median everywhere;
+// public DNS has the shorter tail; SK public DNS ~2x at the median.
+func TestFig13Shape(t *testing.T) {
+	r := sharedContext(t).Fig13()
+	for _, cn := range append(carrier.USCarriers(), carrier.KRCarriers()...) {
+		l, g := metric(t, r, "local_p50_"+cn), metric(t, r, "google_p50_"+cn)
+		if l >= g {
+			t.Errorf("%s: local median (%.0f) should beat google (%.0f)", cn, l, g)
+		}
+	}
+	for _, cn := range carrier.USCarriers() {
+		gap := metric(t, r, "google_p50_"+cn) - metric(t, r, "local_p50_"+cn)
+		if gap < 3 || gap > 60 {
+			t.Errorf("%s: google penalty = %.0f ms, paper reports ~10-25", cn, gap)
+		}
+	}
+	for _, cn := range carrier.KRCarriers() {
+		ratio := metric(t, r, "google_p50_"+cn) / metric(t, r, "local_p50_"+cn)
+		if ratio < 1.4 {
+			t.Errorf("%s: SK public DNS should take ~2x at the median, ratio %.2f", cn, ratio)
+		}
+	}
+	// Shorter public tail: the local p95-p50 spread exceeds google's for
+	// most carriers (the paper's "lower variance ... shorter tail").
+	shorter := 0
+	for _, cn := range carrier.USCarriers() {
+		if metric(t, r, "local_spread_"+cn) > metric(t, r, "google_spread_"+cn) {
+			shorter++
+		}
+	}
+	if shorter < 3 {
+		t.Errorf("public DNS should show the tighter tail spread (got %d/4 carriers)", shorter)
+	}
+}
+
+// Fig 14 shape: 60-80% of /24-aggregated comparisons are exactly zero,
+// and public DNS replicas are equal-or-better >=70% of the time.
+func TestFig14Shape(t *testing.T) {
+	r := sharedContext(t).Fig14()
+	for _, cn := range append(carrier.USCarriers(), carrier.KRCarriers()...) {
+		zero := metric(t, r, "google_zero_"+cn)
+		if zero < 0.45 || zero > 0.92 {
+			t.Errorf("%s: frac at exactly 0 = %.2f, paper reports 0.6-0.8", cn, zero)
+		}
+		eqb := metric(t, r, "google_eqorbetter_"+cn)
+		if eqb < 0.65 {
+			t.Errorf("%s: public equal-or-better = %.2f, paper reports >= 0.75", cn, eqb)
+		}
+	}
+}
+
+func TestAllAndRunByID(t *testing.T) {
+	c := sharedContext(t)
+	results := c.All()
+	if len(results) != len(IDs()) {
+		t.Fatalf("All returned %d results, want %d", len(results), len(IDs()))
+	}
+	for _, r := range results {
+		if r.Text == "" || len(r.Metrics) == 0 {
+			t.Errorf("%s: empty result", r.ID)
+		}
+	}
+	if _, err := c.RunByID("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+	if r, err := c.RunByID("f2"); err != nil || r.ID != "F2" {
+		t.Fatal("ids must be case-insensitive")
+	}
+}
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}

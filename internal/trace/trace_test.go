@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/sim"
+)
+
+func smallCampaign(t *testing.T, days int, scale float64) (*Campaign, *dataset.Dataset) {
+	t.Helper()
+	w, err := sim.New(sim.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(5)
+	cfg.ClientScale = scale
+	cfg.End = cfg.Start.Add(time.Duration(days) * 24 * time.Hour)
+	c, err := NewCampaign(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, c.Collect()
+}
+
+func TestCampaignPopulation(t *testing.T) {
+	w, err := sim.New(sim.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCampaign(w, DefaultConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clients) != 158 {
+		t.Fatalf("population = %d, Table 1 says 158", len(c.Clients))
+	}
+	perCarrier := map[string]int{}
+	for _, cn := range w.Carriers {
+		perCarrier[cn.Name] = len(cn.Clients())
+	}
+	want := map[string]int{"att": 33, "sprint": 9, "tmobile": 31, "verizon": 64, "sktelecom": 17, "lgu": 4}
+	for name, n := range want {
+		if perCarrier[name] != n {
+			t.Errorf("%s clients = %d, want %d", name, perCarrier[name], n)
+		}
+	}
+}
+
+func TestCampaignScaling(t *testing.T) {
+	c, _ := smallCampaign(t, 1, 0.05)
+	// Every carrier keeps at least one client even at tiny scales.
+	if len(c.Clients) < 6 {
+		t.Fatalf("scaled population = %d, want >= 6", len(c.Clients))
+	}
+	if len(c.Clients) > 20 {
+		t.Fatalf("scaled population = %d, too large for scale 0.05", len(c.Clients))
+	}
+}
+
+func TestExperimentRecordShape(t *testing.T) {
+	_, ds := smallCampaign(t, 2, 0.03)
+	if ds.Len() == 0 {
+		t.Fatal("no experiments")
+	}
+	for _, e := range ds.Experiments[:5] {
+		if len(e.Resolutions) != 27 {
+			t.Fatalf("resolutions = %d, want 9 domains x 3 resolvers", len(e.Resolutions))
+		}
+		okCount, second := 0, 0
+		for _, r := range e.Resolutions {
+			if r.OK {
+				okCount++
+				if len(r.Answers) == 0 {
+					t.Fatal("successful resolution without answers")
+				}
+				if r.RTT1 <= 0 {
+					t.Fatal("first-lookup RTT must be positive")
+				}
+				if r.RTT2 > 0 {
+					second++
+				}
+				if r.TTL == 0 {
+					t.Fatal("CDN answers carry short nonzero TTLs")
+				}
+				if r.CNAME == "" {
+					t.Fatal("Table 2 domains resolve through CNAMEs")
+				}
+			}
+		}
+		if okCount < 24 {
+			t.Fatalf("only %d/27 resolutions succeeded", okCount)
+		}
+		if second < okCount-3 {
+			t.Fatalf("only %d/%d second lookups succeeded", second, okCount)
+		}
+		if len(e.Discoveries) != 3 {
+			t.Fatalf("discoveries = %d", len(e.Discoveries))
+		}
+		for _, d := range e.Discoveries {
+			if d.OK && d.External == d.Queried {
+				t.Fatal("external identity should differ from the queried address (indirect resolution)")
+			}
+		}
+		if len(e.ReplicaProbes) == 0 {
+			t.Fatal("no replica probes")
+		}
+		httpOK := 0
+		for _, rp := range e.ReplicaProbes {
+			if rp.HTTPOK {
+				httpOK++
+				if rp.TTFB <= 0 {
+					t.Fatal("TTFB must be positive")
+				}
+			}
+		}
+		if httpOK == 0 {
+			t.Fatal("no successful HTTP probes")
+		}
+		if len(e.ResolverProbes) < 3 {
+			t.Fatalf("resolver probes = %d", len(e.ResolverProbes))
+		}
+		if len(e.EgressTrace) == 0 {
+			t.Fatal("egress traceroute missing")
+		}
+		if e.Radio == "" || e.Carrier == "" || !e.NATAddr.IsValid() {
+			t.Fatalf("metadata incomplete: %+v", e)
+		}
+	}
+}
+
+func TestLocalDiscoveryFindsCarrierExternal(t *testing.T) {
+	c, ds := smallCampaign(t, 2, 0.03)
+	found := 0
+	for _, e := range ds.Experiments {
+		cn, _ := c.World.Carrier(e.Carrier)
+		if ext, ok := e.DiscoveredExternal(dataset.KindLocal); ok {
+			found++
+			if !cn.IsExternalResolver(ext) {
+				t.Fatalf("%s: discovered %v is not a carrier external", e.Carrier, ext)
+			}
+		}
+		if ext, ok := e.DiscoveredExternal(dataset.KindGoogle); ok {
+			if !c.World.Google.OwnsAddr(ext) {
+				t.Fatalf("google discovery %v not owned by google", ext)
+			}
+		}
+	}
+	if found < ds.Len()*8/10 {
+		t.Fatalf("local discovery succeeded only %d/%d times", found, ds.Len())
+	}
+}
+
+func TestRadioMix(t *testing.T) {
+	_, ds := smallCampaign(t, 6, 0.2)
+	lte := 0
+	for _, e := range ds.Experiments {
+		if e.Radio == "LTE" {
+			lte++
+		}
+	}
+	frac := float64(lte) / float64(ds.Len())
+	if frac < 0.55 || frac > 0.9 {
+		t.Fatalf("LTE share = %.2f, want ~0.72", frac)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	_, ds := smallCampaign(t, 1, 0.03)
+	var buf bytes.Buffer
+	if err := ds.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dataset.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() {
+		t.Fatalf("round trip lost experiments: %d vs %d", got.Len(), ds.Len())
+	}
+	a, b := ds.Experiments[0], got.Experiments[0]
+	if a.ClientID != b.ClientID || a.Carrier != b.Carrier || len(a.Resolutions) != len(b.Resolutions) {
+		t.Fatal("round trip corrupted records")
+	}
+	if a.Resolutions[0].Server != b.Resolutions[0].Server {
+		t.Fatal("addresses corrupted")
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	_, a := smallCampaign(t, 1, 0.03)
+	_, b := smallCampaign(t, 1, 0.03)
+	if a.Len() != b.Len() {
+		t.Fatal("run sizes differ")
+	}
+	for i := range a.Experiments {
+		ea, eb := a.Experiments[i], b.Experiments[i]
+		if ea.ClientID != eb.ClientID || !ea.Time.Equal(eb.Time) {
+			t.Fatalf("schedule differs at %d", i)
+		}
+		if len(ea.Resolutions) != len(eb.Resolutions) {
+			t.Fatalf("resolution counts differ at %d", i)
+		}
+		for j := range ea.Resolutions {
+			if ea.Resolutions[j].RTT1 != eb.Resolutions[j].RTT1 {
+				t.Fatalf("experiment %d resolution %d RTT differs", i, j)
+			}
+		}
+	}
+}
+
+func TestByCarrierSplit(t *testing.T) {
+	_, ds := smallCampaign(t, 1, 0.05)
+	split := ds.ByCarrier()
+	if len(split) != 6 {
+		t.Fatalf("carriers in dataset = %d", len(split))
+	}
+	total := 0
+	for _, es := range split {
+		total += len(es)
+	}
+	if total != ds.Len() {
+		t.Fatal("split lost experiments")
+	}
+}

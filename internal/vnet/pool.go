@@ -1,0 +1,57 @@
+package vnet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Pool hands out addresses from an IPv4 prefix, either sequentially or by
+// index. Carriers use pools for client addresses (ephemeral, reused) and
+// resolver farms; the CDN uses them for replica clusters.
+type Pool struct {
+	prefix netip.Prefix
+	next   int
+	size   int
+}
+
+// NewPool creates a pool over prefix. It panics on non-IPv4 prefixes,
+// which would indicate a simulator configuration bug.
+func NewPool(prefix string) *Pool {
+	p := netip.MustParsePrefix(prefix)
+	if !p.Addr().Is4() {
+		panic(fmt.Sprintf("vnet: pool requires IPv4 prefix, got %s", prefix))
+	}
+	bits := 32 - p.Bits()
+	size := 1 << bits
+	// Skip network and broadcast addresses for /31 and larger pools.
+	if size > 2 {
+		size -= 2
+	}
+	return &Pool{prefix: p.Masked(), next: 0, size: size}
+}
+
+// Prefix returns the pool's prefix.
+func (p *Pool) Prefix() netip.Prefix { return p.prefix }
+
+// Size returns the number of allocatable addresses.
+func (p *Pool) Size() int { return p.size }
+
+// At returns the i-th usable address of the pool (0-based, skipping the
+// network address). It panics when i is out of range.
+func (p *Pool) At(i int) netip.Addr {
+	if i < 0 || i >= p.size {
+		panic(fmt.Sprintf("vnet: pool index %d out of range [0,%d)", i, p.size))
+	}
+	base := p.prefix.Addr().As4()
+	v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+	v += uint32(i + 1) // skip network address
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// Next allocates the next sequential address, wrapping around when the
+// pool is exhausted (cellular address reuse).
+func (p *Pool) Next() netip.Addr {
+	a := p.At(p.next % p.size)
+	p.next++
+	return a
+}

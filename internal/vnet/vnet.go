@@ -1,0 +1,370 @@
+// Package vnet implements the virtual network fabric the cellcurtain
+// simulation runs on.
+//
+// The fabric is synchronous: latencies are computed, not slept. A
+// round trip walks the virtual route between two addresses, samples each
+// segment's latency model, applies NAT and firewall policy, and invokes
+// the destination service handler. Handlers may themselves issue upstream
+// round trips (a recursive resolver on a cache miss, for example); their
+// reported service time folds into the caller's measured RTT exactly as it
+// would on a real network. This keeps a five-month measurement campaign
+// deterministic and runnable in seconds while the same dnswire bytes flow
+// end to end.
+package vnet
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"cellcurtain/internal/geo"
+	"cellcurtain/internal/stats"
+)
+
+// Errors returned by fabric operations.
+var (
+	ErrNoRoute     = errors.New("vnet: no route to host")
+	ErrTimeout     = errors.New("vnet: timed out")
+	ErrRefused     = errors.New("vnet: connection refused")
+	ErrUnknownAddr = errors.New("vnet: unknown address")
+)
+
+// Segment is one hop of a virtual route.
+type Segment struct {
+	// Label names the segment for debugging ("radio", "epc", "wan").
+	Label string
+	// Latency is the one-way latency model of the segment.
+	Latency stats.Dist
+	// Loss is the probability that a packet is dropped crossing the
+	// segment (applied independently in each direction).
+	Loss float64
+	// HopAddr is the router address revealed to traceroute at the far end
+	// of the segment. The zero Addr hides the hop (MPLS/VPN tunneling, as
+	// the paper observed inside every carrier).
+	HopAddr netip.Addr
+}
+
+// Route is a unidirectional path description between two addresses.
+// Responses retrace the same segments in reverse.
+type Route struct {
+	Segments []Segment
+	// NATAddr, when valid, is the source address the destination observes
+	// (cellular carriers NAT all client traffic).
+	NATAddr netip.Addr
+	// BlockedAfter, when >= 0, drops forward packets after crossing
+	// Segments[BlockedAfter] (carrier ingress firewalls). Traceroute still
+	// reveals hops up to and including that segment.
+	BlockedAfter int
+	// TracerouteOpaqueAfter, when >= 0, drops only traceroute probes after
+	// Segments[TracerouteOpaqueAfter] while letting ICMP echo and service
+	// traffic through. This models carriers that answer pings to selected
+	// resolvers yet never let traceroute penetrate past their ingress
+	// (paper §4.4: "none of the resolvers responded to our traceroute
+	// probes ... generally unable to penetrate beyond the ingress points").
+	TracerouteOpaqueAfter int
+}
+
+// NewRoute builds an unblocked route.
+func NewRoute(segs ...Segment) Route {
+	return Route{Segments: segs, BlockedAfter: -1, TracerouteOpaqueAfter: -1}
+}
+
+// Blocked marks the route as firewalled after segment i and returns it.
+func (r Route) Blocked(i int) Route {
+	r.BlockedAfter = i
+	return r
+}
+
+// TracerouteOpaque marks the route as traceroute-filtered after segment i
+// and returns it.
+func (r Route) TracerouteOpaque(i int) Route {
+	r.TracerouteOpaqueAfter = i
+	return r
+}
+
+// WithNAT sets the NAT source address and returns the route.
+func (r Route) WithNAT(a netip.Addr) Route {
+	r.NATAddr = a
+	return r
+}
+
+// Router computes routes between addresses. The simulation wires a
+// composite router that understands carrier access networks and the
+// public WAN.
+type Router interface {
+	Route(src, dst netip.Addr) (Route, error)
+}
+
+// RouterFunc adapts a function to the Router interface.
+type RouterFunc func(src, dst netip.Addr) (Route, error)
+
+// Route implements Router.
+func (f RouterFunc) Route(src, dst netip.Addr) (Route, error) { return f(src, dst) }
+
+// Request is what a service handler receives.
+type Request struct {
+	// Fabric lets handlers issue upstream round trips.
+	Fabric *Fabric
+	// Src is the source address as observed at the destination (post-NAT).
+	Src netip.Addr
+	// Dst and Port identify the service instance being invoked.
+	Dst  netip.Addr
+	Port uint16
+	// Payload is the request datagram.
+	Payload []byte
+	// Time is the virtual arrival time.
+	Time time.Time
+}
+
+// Handler is a service bound to an (address, port).
+type Handler interface {
+	// Serve processes one request and returns the response payload and
+	// the service time (processing plus any upstream round trips).
+	Serve(req Request) (resp []byte, elapsed time.Duration, err error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req Request) ([]byte, time.Duration, error)
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(req Request) ([]byte, time.Duration, error) { return f(req) }
+
+// PingPolicy decides whether an endpoint answers ICMP echo from a source.
+type PingPolicy func(src netip.Addr) bool
+
+// PingAll answers every echo request.
+func PingAll(netip.Addr) bool { return true }
+
+// PingNone answers no echo requests (the paper's unresponsive external
+// resolvers).
+func PingNone(netip.Addr) bool { return false }
+
+// Endpoint is an addressable host on the fabric.
+type Endpoint struct {
+	ID       string
+	Loc      geo.Point
+	ASN      uint32
+	services map[uint16]Handler
+	pingOK   PingPolicy
+}
+
+// Fabric is the virtual network.
+type Fabric struct {
+	rng       *stats.RNG
+	router    Router
+	endpoints map[netip.Addr]*Endpoint
+	now       time.Time
+	// ProbeTimeout is the duration reported for lost or blocked probes.
+	ProbeTimeout time.Duration
+	// MaxTTL bounds traceroute exploration.
+	MaxTTL int
+}
+
+// New creates a fabric with the given deterministic generator and router.
+func New(rng *stats.RNG, router Router) *Fabric {
+	return &Fabric{
+		rng:          rng,
+		router:       router,
+		endpoints:    make(map[netip.Addr]*Endpoint),
+		now:          time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC),
+		ProbeTimeout: time.Second,
+		MaxTTL:       30,
+	}
+}
+
+// SetRouter replaces the fabric's router (used when topology is built in
+// stages).
+func (f *Fabric) SetRouter(r Router) { f.router = r }
+
+// Now returns the current virtual time.
+func (f *Fabric) Now() time.Time { return f.now }
+
+// SetNow sets the virtual clock; campaigns advance it between experiments.
+func (f *Fabric) SetNow(t time.Time) { f.now = t }
+
+// RNG exposes the fabric's deterministic generator for components that
+// need coherent randomness.
+func (f *Fabric) RNG() *stats.RNG { return f.rng }
+
+// AddEndpoint registers a host at one or more addresses. The same
+// *Endpoint may back several addresses (anycast).
+func (f *Fabric) AddEndpoint(id string, loc geo.Point, asn uint32, addrs ...netip.Addr) *Endpoint {
+	ep := &Endpoint{
+		ID:       id,
+		Loc:      loc,
+		ASN:      asn,
+		services: make(map[uint16]Handler),
+		pingOK:   PingAll,
+	}
+	for _, a := range addrs {
+		f.endpoints[a] = ep
+	}
+	return ep
+}
+
+// Attach binds an existing endpoint to an additional address.
+func (f *Fabric) Attach(ep *Endpoint, addr netip.Addr) { f.endpoints[addr] = ep }
+
+// Endpoint looks up the endpoint at an address.
+func (f *Fabric) Endpoint(addr netip.Addr) (*Endpoint, bool) {
+	ep, ok := f.endpoints[addr]
+	return ep, ok
+}
+
+// Handle registers a service on the endpoint.
+func (ep *Endpoint) Handle(port uint16, h Handler) { ep.services[port] = h }
+
+// SetPingPolicy replaces the endpoint's ICMP policy.
+func (ep *Endpoint) SetPingPolicy(p PingPolicy) { ep.pingOK = p }
+
+// routeLatency samples one direction of the route, honoring loss and the
+// firewall. It returns the accumulated latency and whether the packet
+// survived to the final segment.
+func (f *Fabric) routeLatency(r Route) (time.Duration, bool) {
+	var total time.Duration
+	for i, seg := range r.Segments {
+		if seg.Loss > 0 && f.rng.Bool(seg.Loss) {
+			return total, false
+		}
+		total += seg.Latency.Sample(f.rng)
+		if r.BlockedAfter >= 0 && i == r.BlockedAfter {
+			return total, false
+		}
+	}
+	return total, true
+}
+
+// RoundTrip sends payload from src to (dst, port) and returns the response
+// payload and the measured RTT. The RTT includes forward path, service
+// time and return path. Lost or blocked packets return ErrTimeout with
+// RTT equal to ProbeTimeout, matching what a real prober records.
+func (f *Fabric) RoundTrip(src, dst netip.Addr, port uint16, payload []byte) ([]byte, time.Duration, error) {
+	route, err := f.router.Route(src, dst)
+	if err != nil {
+		return nil, f.ProbeTimeout, fmt.Errorf("%w: %s -> %s", ErrNoRoute, src, dst)
+	}
+	fwd, ok := f.routeLatency(route)
+	if !ok {
+		return nil, f.ProbeTimeout, ErrTimeout
+	}
+	ep, found := f.endpoints[dst]
+	if !found {
+		return nil, f.ProbeTimeout, fmt.Errorf("%w: %s", ErrUnknownAddr, dst)
+	}
+	h, found := ep.services[port]
+	if !found {
+		// Real stacks answer with ICMP port-unreachable quickly.
+		return nil, fwd * 2, ErrRefused
+	}
+	observedSrc := src
+	if route.NATAddr.IsValid() {
+		observedSrc = route.NATAddr
+	}
+	resp, svc, err := h.Serve(Request{
+		Fabric:  f,
+		Src:     observedSrc,
+		Dst:     dst,
+		Port:    port,
+		Payload: payload,
+		Time:    f.now.Add(fwd),
+	})
+	if err != nil {
+		return nil, f.ProbeTimeout, err
+	}
+	back, ok := f.routeLatency(route)
+	if !ok {
+		return nil, f.ProbeTimeout, ErrTimeout
+	}
+	return resp, fwd + svc + back, nil
+}
+
+// Ping issues an ICMP echo from src to dst and returns the RTT.
+// Unreachable, blocked, firewalled or policy-filtered targets return
+// ErrTimeout after ProbeTimeout, as a real ping would experience.
+func (f *Fabric) Ping(src, dst netip.Addr) (time.Duration, error) {
+	route, err := f.router.Route(src, dst)
+	if err != nil {
+		return f.ProbeTimeout, ErrTimeout
+	}
+	fwd, ok := f.routeLatency(route)
+	if !ok {
+		return f.ProbeTimeout, ErrTimeout
+	}
+	ep, found := f.endpoints[dst]
+	if !found || !ep.pingOK(effectiveSrc(src, route)) {
+		return f.ProbeTimeout, ErrTimeout
+	}
+	back, ok := f.routeLatency(route)
+	if !ok {
+		return f.ProbeTimeout, ErrTimeout
+	}
+	return fwd + back, nil
+}
+
+func effectiveSrc(src netip.Addr, route Route) netip.Addr {
+	if route.NATAddr.IsValid() {
+		return route.NATAddr
+	}
+	return src
+}
+
+// Hop is one traceroute result line.
+type Hop struct {
+	TTL  int
+	Addr netip.Addr // zero Addr renders as "*" (no response)
+	RTT  time.Duration
+}
+
+// Responded reports whether the hop answered.
+func (h Hop) Responded() bool { return h.Addr.IsValid() }
+
+// Traceroute walks the route to dst, revealing the HopAddr of each
+// segment. Tunneled segments (zero HopAddr) appear as silent hops, and the
+// walk stops at a firewall block, exactly as the paper's probes behaved
+// inside cellular carriers (§4.2, §4.4).
+func (f *Fabric) Traceroute(src, dst netip.Addr) ([]Hop, error) {
+	route, err := f.router.Route(src, dst)
+	if err != nil {
+		return nil, ErrNoRoute
+	}
+	var hops []Hop
+	var acc time.Duration
+	for i, seg := range route.Segments {
+		if i >= f.MaxTTL {
+			break
+		}
+		acc += seg.Latency.Sample(f.rng)
+		h := Hop{TTL: i + 1, RTT: 2 * acc}
+		if seg.HopAddr.IsValid() {
+			h.Addr = seg.HopAddr
+		} else {
+			h.RTT = f.ProbeTimeout
+		}
+		hops = append(hops, h)
+		if route.BlockedAfter >= 0 && i == route.BlockedAfter {
+			return hops, nil
+		}
+		if route.TracerouteOpaqueAfter >= 0 && i == route.TracerouteOpaqueAfter {
+			return hops, nil
+		}
+	}
+	// Destination answers as the final hop if it is reachable and answers
+	// probes.
+	if ep, ok := f.endpoints[dst]; ok && ep.pingOK(effectiveSrc(src, route)) {
+		hops = append(hops, Hop{TTL: len(hops) + 1, Addr: dst, RTT: 2 * acc})
+	} else {
+		hops = append(hops, Hop{TTL: len(hops) + 1, RTT: f.ProbeTimeout})
+	}
+	return hops, nil
+}
+
+// Slash24 returns the enclosing /24 of an IPv4 address (the aggregation
+// granularity the paper uses throughout).
+func Slash24(a netip.Addr) netip.Prefix {
+	p, err := a.Prefix(24)
+	if err != nil {
+		return netip.Prefix{}
+	}
+	return p
+}
