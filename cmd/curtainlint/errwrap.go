@@ -1,0 +1,88 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+var analyzerErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "fmt.Errorf formatting an error value must use %w so callers can " +
+		"errors.Is/As through the wrap",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if !isPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constantString(pass, call.Args[0])
+			if !ok {
+				return true
+			}
+			verbs, ok := formatVerbs(format)
+			if !ok || len(verbs) != len(call.Args)-1 {
+				return true
+			}
+			for i, verb := range verbs {
+				arg := call.Args[i+1]
+				if !implementsError(pass.Info.Types[arg].Type) {
+					continue
+				}
+				switch verb {
+				case 'v', 's', 'q':
+					pass.Reportf(arg.Pos(), "error %s formatted with %%%c; use %%w so the cause survives wrapping", exprString(arg), verb)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// constantString resolves expr to a compile-time string value.
+func constantString(pass *Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs extracts the argument-consuming verbs of a Printf-style
+// format string, in order. It bails out (ok=false) on explicit argument
+// indexes and * width/precision, which break positional alignment.
+func formatVerbs(format string) ([]rune, bool) {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Skip flags, width and precision.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '[' || format[i] == '*' {
+			return nil, false
+		}
+		verbs = append(verbs, rune(format[i]))
+	}
+	return verbs, true
+}

@@ -1,0 +1,21 @@
+// Package fixture drops Close errors and leaks connections.
+package fixture
+
+import (
+	"net"
+	"os"
+)
+
+// DiscardClose throws the flush-on-close error away.
+func DiscardClose(f *os.File) {
+	f.Close()
+}
+
+// Leak opens a connection that is never closed and never handed off.
+func Leak(addr string) (int, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, err
+	}
+	return conn.Read(make([]byte, 1))
+}

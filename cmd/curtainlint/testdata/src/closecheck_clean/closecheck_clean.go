@@ -1,0 +1,47 @@
+// Package fixture closes (or hands off) everything it opens.
+package fixture
+
+import (
+	"net"
+	"os"
+)
+
+// Deferred is the standard open/defer-close shape.
+func Deferred(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = conn.Read(make([]byte, 1))
+	return err
+}
+
+// Checked propagates the close error.
+func Checked(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Discarded throws the error away, but visibly.
+func Discarded(f *os.File) {
+	_ = f.Close()
+}
+
+// Escapes transfers ownership to the caller.
+func Escapes(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	return conn, err
+}
+
+// HandedOff transfers ownership to serve.
+func HandedOff(addr string, serve func(net.Conn)) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	serve(conn)
+	return nil
+}

@@ -1,0 +1,43 @@
+// Package fixture deliberately violates every determinism rule: wall
+// clock reads, the global rand source, and map-ordered output.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock twice.
+func Stamp() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Pick draws from the shared global Source.
+func Pick(n int) int {
+	return rand.Intn(n)
+}
+
+// Keys collects map keys without ever sorting them.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Dump prints in iteration order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Send streams keys in iteration order.
+func Send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k
+	}
+}

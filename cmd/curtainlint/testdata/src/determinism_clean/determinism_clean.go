@@ -1,0 +1,53 @@
+// Package fixture shows the sanctioned deterministic idioms: injected
+// clock, explicitly seeded local RNG, sorted keys, order-free folds.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Sim carries its time and randomness as injected dependencies.
+type Sim struct {
+	Clock func() time.Time
+	RNG   *rand.Rand
+}
+
+// New seeds a private generator; no global state is touched.
+func New(seed int64) *Sim {
+	return &Sim{RNG: rand.New(rand.NewSource(seed))}
+}
+
+// Step consumes only injected sources.
+func (s *Sim) Step() (time.Time, int) {
+	return s.Clock(), s.RNG.Intn(10)
+}
+
+// SortedKeys is the collect-then-sort pattern the analyzer must accept.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Total folds commutatively; iteration order cannot show.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes into another map; order-free.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Package fixture formats errors into opaque strings: errors.Is/As
+// cannot see through any of these wraps.
+package fixture
+
+import "fmt"
+
+// WrapV loses the cause behind %v.
+func WrapV(err error) error {
+	return fmt.Errorf("open config: %v", err)
+}
+
+// WrapS mixes a good argument with a bad verb for the error.
+func WrapS(name string, err error) error {
+	return fmt.Errorf("read %s: %s", name, err)
+}
+
+// WrapQ quotes the cause away.
+func WrapQ(err error) error {
+	return fmt.Errorf("parse: %q", err)
+}

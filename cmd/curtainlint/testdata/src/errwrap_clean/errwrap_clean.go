@@ -1,0 +1,24 @@
+// Package fixture wraps errors so the chain stays inspectable.
+package fixture
+
+import "fmt"
+
+// Wrap is the canonical %w wrap.
+func Wrap(err error) error {
+	return fmt.Errorf("open config: %w", err)
+}
+
+// NonError may use %v freely: the argument is not an error.
+func NonError(name string) error {
+	return fmt.Errorf("no such host: %v", name)
+}
+
+// Multi wraps two causes (valid since Go 1.20).
+func Multi(err1, err2 error) error {
+	return fmt.Errorf("udp: %w; tcp fallback: %w", err1, err2)
+}
+
+// Mixed aligns non-error verbs around the wrap.
+func Mixed(err error, attempt int) error {
+	return fmt.Errorf("attempt %d: %w", attempt, err)
+}

@@ -1,0 +1,41 @@
+// Package fixture exercises //lint:ignore handling: a directive must
+// suppress exactly the analyzer it names, and malformed directives are
+// themselves findings.
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+// Suppressed shows both accepted comment placements.
+func Suppressed(f *os.File) {
+	//lint:ignore closecheck fixture: standalone comment on the line above
+	f.Close()
+	f.Close() //lint:ignore closecheck fixture: trailing comment on the same line
+}
+
+// WrongAnalyzer names errwrap, so the closecheck finding must survive.
+func WrongAnalyzer(f *os.File) {
+	//lint:ignore errwrap fixture: names a different analyzer
+	f.Close()
+}
+
+// WrongAnalyzerErrwrap names closecheck, so the errwrap finding must
+// survive.
+func WrongAnalyzerErrwrap(err error) error {
+	//lint:ignore closecheck fixture: names a different analyzer
+	return fmt.Errorf("boom: %v", err)
+}
+
+// MissingReason omits the mandatory justification.
+func MissingReason(f *os.File) {
+	//lint:ignore closecheck
+	f.Close()
+}
+
+// UnknownName misspells the analyzer.
+func UnknownName(f *os.File) {
+	//lint:ignore closechek fixture: typo in the analyzer name
+	f.Close()
+}

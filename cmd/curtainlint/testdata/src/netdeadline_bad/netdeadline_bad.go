@@ -1,0 +1,39 @@
+// Package fixture performs blocking socket I/O with no deadline in
+// reach: every operation here can hang an unattended probe forever.
+package fixture
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// ReadNoDeadline blocks until the peer speaks.
+func ReadNoDeadline(c net.Conn) (int, error) {
+	buf := make([]byte, 512)
+	return c.Read(buf)
+}
+
+// WriteNoDeadline blocks on a full socket buffer.
+func WriteNoDeadline(c *net.UDPConn, b []byte) (int, error) {
+	return c.Write(b)
+}
+
+// ReadFullNoDeadline hides the blocking read behind an io helper.
+func ReadFullNoDeadline(c net.Conn) error {
+	var hdr [2]byte
+	_, err := io.ReadFull(c, hdr[:])
+	return err
+}
+
+// HalfCovered bounds its reads but not its write.
+func HalfCovered(c net.Conn, b []byte) error {
+	if err := c.SetReadDeadline(time.Time{}); err != nil {
+		return err
+	}
+	if _, err := c.Read(b); err != nil {
+		return err
+	}
+	_, err := c.Write(b)
+	return err
+}

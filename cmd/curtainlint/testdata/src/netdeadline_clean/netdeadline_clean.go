@@ -1,0 +1,46 @@
+// Package fixture bounds every blocking socket operation with a
+// deadline reachable in the same function.
+package fixture
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// Exchange sets one deadline covering both directions.
+func Exchange(c net.Conn, payload []byte, timeout time.Duration) ([]byte, error) {
+	if err := c.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if _, err := c.Write(payload); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096)
+	n, err := c.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// ReadFrame covers an io.ReadFull through a read deadline.
+func ReadFrame(c net.Conn, timeout time.Duration) ([]byte, error) {
+	if err := c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	var hdr [2]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return nil, err
+	}
+	return hdr[:], nil
+}
+
+// SendOnly needs only the write deadline.
+func SendOnly(c *net.UDPConn, b []byte, timeout time.Duration) error {
+	if err := c.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	_, err := c.Write(b)
+	return err
+}

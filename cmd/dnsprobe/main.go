@@ -47,7 +47,10 @@ func main() {
 	names := strings.Split(*domains, ",")
 
 	transport := &dnsclient.UDPTransport{Timeout: *timeout, Port: uint16(*port)}
-	client := dnsclient.New(transport, func() uint16 { return uint16(rand.Intn(1 << 16)) })
+	// A private generator: query IDs stay unpredictable without touching
+	// the global math/rand source (see the determinism policy in DESIGN.md).
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	client := dnsclient.New(transport, func() uint16 { return uint16(rng.Intn(1 << 16)) })
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "round\tresolver\tdomain\trtt1\trtt2\tanswers\tcname\tttl")
@@ -83,7 +86,9 @@ func main() {
 				}
 			}
 		}
-		tw.Flush()
+		if err := tw.Flush(); err != nil {
+			log.Fatalf("dnsprobe: writing results: %v", err)
+		}
 	}
 }
 

@@ -127,7 +127,7 @@ func (c *Client) Query(server netip.Addr, name dnswire.Name, t dnswire.Type) (*R
 		}
 		return &Result{Msg: msg, RTT: rtt, Attempts: attempt, Server: server}, nil
 	}
-	return nil, fmt.Errorf("%w: %v", ErrAllRetriesFailed, lastErr)
+	return nil, fmt.Errorf("%w: %w", ErrAllRetriesFailed, lastErr)
 }
 
 // QueryA resolves A records and returns the full result.

@@ -1,0 +1,183 @@
+package dnsserver
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dnsclient"
+	"cellcurtain/internal/dnswire"
+)
+
+// countingHandler mutates shared state per query so the race detector
+// sees handler goroutines, not just the read loop.
+type countingHandler struct {
+	mu      sync.Mutex
+	served  int
+	remotes map[netip.Addr]int
+}
+
+func (h *countingHandler) ServeDNS(remote netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+	h.mu.Lock()
+	h.served++
+	if h.remotes == nil {
+		h.remotes = make(map[netip.Addr]int)
+	}
+	h.remotes[remote.Addr()]++
+	h.mu.Unlock()
+	return echoA.ServeDNS(remote, q)
+}
+
+func (h *countingHandler) total() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.served
+}
+
+// pollAddr hammers the server's mutex-guarded Addr while it serves,
+// racing it against Serve's conn assignment and Shutdown's close.
+func pollAddr(addr func() netip.AddrPort, stop chan struct{}) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = addr()
+			}
+		}
+	}()
+	return done
+}
+
+// TestRaceUDPServing drives the UDP server with concurrent clients while
+// another goroutine polls Addr(): a regression gate for go test -race
+// over the Serve/handle/Addr/Shutdown paths, which share conn state
+// under the server mutex.
+func TestRaceUDPServing(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &countingHandler{}
+	s := &Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(conn) }()
+	addr := conn.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	stopPoll := make(chan struct{})
+	pollDone := pollAddr(s.Addr, stopPoll)
+
+	const clients, queries = 8, 10
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := dnsclient.New(&dnsclient.UDPTransport{Port: addr.Port(), Timeout: 2 * time.Second}, nil)
+			for j := 0; j < queries; j++ {
+				name := dnswire.Name(fmt.Sprintf("q%d-%d.race.example", id, j))
+				if _, err := c.QueryA(addr.Addr(), name); err != nil {
+					t.Errorf("client %d query %d: %v", id, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopPoll)
+	<-pollDone
+	s.Shutdown()
+	select {
+	case <-errc:
+	case <-time.After(time.Second):
+		t.Fatal("server did not stop")
+	}
+
+	if got, want := h.total(), clients*queries; got < want {
+		t.Fatalf("served %d queries, want >= %d", got, want)
+	}
+}
+
+// TestRaceTCPServing drives the TCP server with concurrent clients while
+// polling Addr(): the accept loop, per-conn goroutines and Shutdown all
+// touch the listener concurrently.
+func TestRaceTCPServing(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &countingHandler{}
+	s := &TCPServer{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(ln) }()
+	addr := ln.Addr().(*net.TCPAddr).AddrPort()
+
+	stopPoll := make(chan struct{})
+	pollDone := pollAddr(s.Addr, stopPoll)
+
+	const clients, queries = 6, 5
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tr := &dnsclient.TCPTransport{Port: addr.Port(), Timeout: 2 * time.Second}
+			c := dnsclient.New(tr, nil)
+			for j := 0; j < queries; j++ {
+				name := dnswire.Name(fmt.Sprintf("t%d-%d.race.example", id, j))
+				if _, err := c.QueryA(addr.Addr(), name); err != nil {
+					t.Errorf("tcp client %d query %d: %v", id, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopPoll)
+	<-pollDone
+	s.Shutdown()
+	select {
+	case <-errc:
+	case <-time.After(time.Second):
+		t.Fatal("tcp server did not stop")
+	}
+
+	if got, want := h.total(), clients*queries; got < want {
+		t.Fatalf("served %d queries, want >= %d", got, want)
+	}
+}
+
+// TestRaceShutdownMidFlight shuts the UDP server down while clients are
+// still sending: queries may fail, but nothing may race or deadlock.
+func TestRaceShutdownMidFlight(t *testing.T) {
+	h := &countingHandler{}
+	addr, stop := startServer(t, h)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := dnsclient.New(&dnsclient.UDPTransport{Port: addr.Port(), Timeout: 200 * time.Millisecond}, nil)
+			for j := 0; j < 20; j++ {
+				name := dnswire.Name(fmt.Sprintf("s%d-%d.race.example", id, j))
+				if _, err := c.QueryA(addr.Addr(), name); err != nil {
+					return // expected once the server is gone
+				}
+			}
+		}(i)
+	}
+	// Let some queries through, then pull the socket out from under the rest.
+	deadline := time.Now().Add(2 * time.Second)
+	for h.total() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	wg.Wait()
+}

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"time"
 
 	"cellcurtain/internal/dnswire"
 )
@@ -33,6 +34,9 @@ type Server struct {
 	Handler Handler
 	// Logf, when set, receives per-query diagnostics.
 	Logf func(format string, args ...any)
+	// WriteTimeout bounds each response send (default 5 s) so a full
+	// socket buffer cannot wedge a handler goroutine forever.
+	WriteTimeout time.Duration
 
 	mu   sync.Mutex
 	conn *net.UDPConn
@@ -65,6 +69,7 @@ func (s *Server) Serve(conn *net.UDPConn) error {
 
 	buf := make([]byte, 4096)
 	for {
+		//lint:ignore netdeadline the accept-style read loop blocks by design; Shutdown closes the socket to unblock it
 		n, raddr, err := conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			select {
@@ -94,7 +99,7 @@ func (s *Server) Shutdown() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.conn != nil {
-		s.conn.Close()
+		_ = s.conn.Close() // best-effort: Shutdown's purpose is unblocking Serve
 	}
 }
 
@@ -127,6 +132,14 @@ func (s *Server) handle(conn *net.UDPConn, raddr netip.AddrPort, pkt []byte) {
 	}
 	if out, err = TruncateForUDP(query, resp, out); err != nil {
 		logf("dnsserver: %s: truncate: %v", raddr, err)
+		return
+	}
+	wt := s.WriteTimeout
+	if wt <= 0 {
+		wt = 5 * time.Second
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(wt)); err != nil {
+		logf("dnsserver: %s: set write deadline: %v", raddr, err)
 		return
 	}
 	if _, err := conn.WriteToUDPAddrPort(out, raddr); err != nil {

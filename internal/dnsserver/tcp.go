@@ -71,7 +71,7 @@ func (s *TCPServer) Shutdown() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.ln != nil {
-		s.ln.Close()
+		_ = s.ln.Close() // best-effort: Shutdown's purpose is unblocking Serve
 	}
 }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# check.sh — the pre-PR gate: build, vet, curtainlint, race-enabled tests.
+#
+# Run from anywhere inside the repo:
+#
+#	./scripts/check.sh
+#
+# Every step must pass. curtainlint findings are fixed or carry a
+# justified //lint:ignore (see DESIGN.md "Static analysis & determinism
+# policy"); go test -race keeps the concurrent server paths honest.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> curtainlint ./..."
+go run ./cmd/curtainlint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all gates passed"
