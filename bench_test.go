@@ -13,6 +13,7 @@ package cellcurtain
 
 import (
 	"errors"
+	"fmt"
 	"net/netip"
 	"sync"
 	"testing"
@@ -241,6 +242,40 @@ func BenchmarkFullExperiment(b *testing.B) {
 		if len(exp.Resolutions) == 0 {
 			b.Fatal("empty experiment")
 		}
+	}
+}
+
+// BenchmarkCampaign measures parallel campaign execution: two simulated
+// days of the full 158-device population, sharded across 1, 4 and 8
+// workers. scripts/bench.sh records the results (and the host's core
+// count, which bounds the achievable speedup) in BENCH_campaign.json.
+func BenchmarkCampaign(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w, err := sim.New(sim.Config{Seed: 2014})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := trace.DefaultConfig(2014)
+				cfg.End = cfg.Start.AddDate(0, 0, 2)
+				cfg.Workers = workers
+				cfg.WorldFactory = func() (*sim.World, error) {
+					return sim.New(sim.Config{Seed: 2014})
+				}
+				camp, err := trace.NewCampaign(w, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				ds := camp.Collect()
+				if ds.Len() == 0 {
+					b.Fatal("empty campaign")
+				}
+				b.ReportMetric(float64(ds.Len())/float64(b.N), "experiments")
+			}
+		})
 	}
 }
 

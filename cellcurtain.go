@@ -50,6 +50,10 @@ type Options struct {
 	// TravelProb is the chance an experiment runs away from home;
 	// negative disables mobility. 0 means 0.06.
 	TravelProb float64
+	// Workers shards campaign execution across parallel workers, each
+	// driving its own world replica; 0 means 1 (serial). The dataset is
+	// byte-identical for any worker count at a fixed seed.
+	Workers int
 }
 
 func (o Options) campaignConfig() trace.Config {
@@ -74,6 +78,9 @@ func (o Options) campaignConfig() trace.Config {
 		cfg.TravelProb = o.TravelProb
 	} else if o.TravelProb < 0 {
 		cfg.TravelProb = 0
+	}
+	if o.Workers > 0 {
+		cfg.Workers = o.Workers
 	}
 	return cfg
 }

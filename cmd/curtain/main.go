@@ -8,7 +8,7 @@
 //	curtain exp -id F14 [flags]           regenerate one artifact
 //	curtain simulate -out data.jsonl      run a campaign, dump the dataset
 //
-// Common flags: -seed, -days, -interval-hours, -scale.
+// Common flags: -seed, -days, -interval-hours, -scale, -workers.
 package main
 
 import (
@@ -64,7 +64,9 @@ flags (report/exp/simulate):
   -seed N             RNG seed (default 2014)
   -days N             campaign length in days (default: full five months)
   -interval-hours N   per-device experiment period (default 12)
-  -scale F            client population scale (default 1.0 = 158 devices)`)
+  -scale F            client population scale (default 1.0 = 158 devices)
+  -workers N          parallel campaign workers (default 1; results are
+                      byte-identical for any worker count)`)
 }
 
 func studyFlags(fs *flag.FlagSet) func() (*cellcurtain.Study, error) {
@@ -72,10 +74,12 @@ func studyFlags(fs *flag.FlagSet) func() (*cellcurtain.Study, error) {
 	days := fs.Int("days", 0, "campaign days (0 = full five months)")
 	interval := fs.Int("interval-hours", 0, "experiment period in hours")
 	scale := fs.Float64("scale", 0, "client population scale")
+	workers := fs.Int("workers", 0, "parallel campaign workers (0 = serial)")
 	return func() (*cellcurtain.Study, error) {
 		fmt.Fprintln(os.Stderr, "curtain: building world and running campaign...")
 		s, err := cellcurtain.NewStudy(cellcurtain.Options{
 			Seed: *seed, Days: *days, IntervalHours: *interval, ClientScale: *scale,
+			Workers: *workers,
 		})
 		if err != nil {
 			return nil, err

@@ -86,9 +86,16 @@ func (w *Whoami) Serve(req vnet.Request) ([]byte, time.Duration, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	// Sample from the fabric's active experiment stream when serving
+	// simulated traffic; the constructor-injected generator covers
+	// transports that carry no fabric (cmd/adnsd).
+	rng := w.rng
+	if req.Fabric != nil {
+		rng = req.Fabric.RNG()
+	}
 	var proc time.Duration
-	if w.Processing != nil && w.rng != nil {
-		proc = w.Processing.Sample(w.rng)
+	if w.Processing != nil && rng != nil {
+		proc = w.Processing.Sample(rng)
 	}
 	return out, proc, nil
 }

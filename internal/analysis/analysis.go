@@ -117,13 +117,22 @@ func ResolutionSample(exps []*dataset.Experiment, kind dataset.ResolverKind, rad
 	return s
 }
 
+// secondLookupOK reports whether a resolution's repeat lookup is usable
+// for the caching analyses: the second lookup must have succeeded (OK2;
+// datasets predating the flag fall back to a positive RTT2). Rows with a
+// failed repeat carry RTT2 == 0 and must be skipped, not counted as
+// instant cache hits.
+func secondLookupOK(r dataset.Resolution) bool {
+	return r.OK2 || r.RTT2 > 0
+}
+
 // SecondLookupSample collects the immediate re-lookup times (Fig 7's
 // second curve), optionally filtered by radio technology ("" = all).
 func SecondLookupSample(exps []*dataset.Experiment, kind dataset.ResolverKind, radio string) *stats.Sample {
 	s := &stats.Sample{}
 	for _, e := range exps {
 		for _, r := range e.Resolutions {
-			if r.Kind != kind || !r.OK || r.RTT2 <= 0 {
+			if r.Kind != kind || !r.OK || !secondLookupOK(r) {
 				continue
 			}
 			if radio != "" && r.Radio != radio {
@@ -143,7 +152,7 @@ func PairedMissFraction(exps []*dataset.Experiment, kind dataset.ResolverKind, t
 	total, miss := 0, 0
 	for _, e := range exps {
 		for _, r := range e.Resolutions {
-			if r.Kind != kind || !r.OK || r.RTT2 <= 0 {
+			if r.Kind != kind || !r.OK || !secondLookupOK(r) {
 				continue
 			}
 			total++

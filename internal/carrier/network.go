@@ -146,7 +146,8 @@ func Build(f *vnet.Fabric, reg *zone.Registry, p Profile, seed uint64) (*Network
 	cfPool := vnet.NewPool(fmt.Sprintf("172.%d.38.0/24", p.CFSecondOctet))
 	n.ownPrefixes = append(n.ownPrefixes, cfPool.Prefix())
 
-	n.Engine = ldns.NewEngine(p.Name, reg, n.Externals, n.pairing(), n.clientInfo, n.rng.Fork(0xE6))
+	n.Engine = ldns.NewEngine(p.Name, reg, n.Externals, n.pairing(), n.clientInfo)
+	f.OnExperimentReset(n.Engine.Reset)
 	// Background subscriber traffic keeps popular names warm as a
 	// function of the CDN's TTL; calibrated so a 30 s TTL yields the
 	// paper's ~80% hit rate (Fig 7).

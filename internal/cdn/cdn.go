@@ -75,7 +75,6 @@ type Provider struct {
 	Processing stats.Dist
 
 	locator Locator
-	rng     *stats.RNG
 	domains map[string]dnswire.Name // customer domain (lower) -> CNAME target
 	// egressHint lets the simulation register the true egress city of a
 	// cellular resolver /24; the provider's geo guess draws from it.
@@ -92,7 +91,9 @@ type Domain struct {
 
 // Config configures CDN construction.
 type Config struct {
-	// Seed drives all randomized choices.
+	// Seed is kept for configuration stability; per-query randomness
+	// (load balancing, processing time) draws from the serving fabric's
+	// experiment stream, and mapping decisions are hash-keyed.
 	Seed uint64
 	// MapPrefixBits overrides every provider's mapping granularity
 	// (0 = the default 24).
@@ -176,7 +177,6 @@ var measuredDomains = []struct {
 // Build constructs the providers, registers ADNS endpoints and replica
 // HTTP servers on the fabric, and delegates all measured zones.
 func Build(f *vnet.Fabric, reg *zone.Registry, locator Locator, cfg Config) (*CDN, error) {
-	rng := stats.NewRNG(cfg.Seed ^ 0xCD17)
 	mapBits := cfg.MapPrefixBits
 	if mapBits == 0 {
 		mapBits = 24
@@ -208,7 +208,6 @@ func Build(f *vnet.Fabric, reg *zone.Registry, locator Locator, cfg Config) (*CD
 			SecondaryProb:     0.10,
 			Processing:        stats.LogNormal{Med: 2 * time.Millisecond, Sigma: 0.4, Floor: 500 * time.Microsecond},
 			locator:           locator,
-			rng:               rng.Fork(uint64(pi) + 100),
 			domains:           map[string]dnswire.Name{},
 			egressHint:        map[netip.Prefix]geo.Point{},
 			country:           map[netip.Prefix]string{},
@@ -224,7 +223,6 @@ func Build(f *vnet.Fabric, reg *zone.Registry, locator Locator, cfg Config) (*CD
 				ep.Handle(80, &replicaHTTP{
 					provider: spec.name, city: city.Name,
 					processing: stats.LogNormal{Med: 9 * time.Millisecond, Sigma: 0.5, Floor: 2 * time.Millisecond},
-					rng:        rng.Fork(uint64(pi)<<16 | uint64(ci)<<4 | uint64(r)),
 				})
 			}
 			p.Clusters = append(p.Clusters, cl)
@@ -352,12 +350,14 @@ func (p *Provider) mappedClusters(domain string, prefix netip.Prefix, now time.T
 }
 
 // ReplicaAnswer selects the replica addresses for a query from resolver
-// src (already reduced to its /24 by the caller when desired).
-func (p *Provider) ReplicaAnswer(domain string, src netip.Addr, now time.Time) []netip.Addr {
+// src (already reduced to its /24 by the caller when desired). Load
+// balancing draws from rng — the serving fabric's active experiment
+// stream — so the choice is independent of global query ordering.
+func (p *Provider) ReplicaAnswer(rng *stats.RNG, domain string, src netip.Addr, now time.Time) []netip.Addr {
 	prefix := p.mapPrefix(src)
 	primary, secondary := p.mappedClusters(domain, prefix, now)
 	idx := primary
-	if p.rng.Bool(p.SecondaryProb) {
+	if rng.Bool(p.SecondaryProb) {
 		idx = secondary
 	}
 	cl := p.Clusters[idx]
@@ -365,7 +365,7 @@ func (p *Provider) ReplicaAnswer(domain string, src netip.Addr, now time.Time) [
 	if n > len(cl.Addrs) {
 		n = len(cl.Addrs)
 	}
-	start := p.rng.Intn(len(cl.Addrs))
+	start := rng.Intn(len(cl.Addrs))
 	out := make([]netip.Addr, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, cl.Addrs[(start+i)%len(cl.Addrs)])
@@ -379,19 +379,20 @@ func (p *Provider) Serve(req vnet.Request) ([]byte, time.Duration, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	resp := p.answer(req.Src, query, req.Time)
+	rng := req.Fabric.RNG()
+	resp := p.answer(rng, req.Src, query, req.Time)
 	out, err := resp.Pack()
 	if err != nil {
 		return nil, 0, err
 	}
 	var proc time.Duration
 	if p.Processing != nil {
-		proc = p.Processing.Sample(p.rng)
+		proc = p.Processing.Sample(rng)
 	}
 	return out, proc, nil
 }
 
-func (p *Provider) answer(src netip.Addr, query *dnswire.Message, now time.Time) *dnswire.Message {
+func (p *Provider) answer(rng *stats.RNG, src netip.Addr, query *dnswire.Message, now time.Time) *dnswire.Message {
 	resp := query.Reply()
 	resp.Header.Authoritative = true
 	if len(query.Questions) != 1 {
@@ -416,7 +417,7 @@ func (p *Provider) answer(src netip.Addr, query *dnswire.Message, now time.Time)
 			Name: q.Name, Class: dnswire.ClassIN, TTL: p.TTL,
 			Data: dnswire.CNAME{Target: cname},
 		})
-		for _, ip := range p.ReplicaAnswer(lower, mapSrc, now) {
+		for _, ip := range p.ReplicaAnswer(rng, lower, mapSrc, now) {
 			resp.Answers = append(resp.Answers, dnswire.Record{
 				Name: cname, Class: dnswire.ClassIN, TTL: p.TTL,
 				Data: dnswire.A{Addr: ip},
@@ -425,7 +426,7 @@ func (p *Provider) answer(src netip.Addr, query *dnswire.Message, now time.Time)
 		return resp
 	}
 	if q.Name.HasSuffix(p.Zone) {
-		for _, ip := range p.ReplicaAnswer(lower, mapSrc, now) {
+		for _, ip := range p.ReplicaAnswer(rng, lower, mapSrc, now) {
 			resp.Answers = append(resp.Answers, dnswire.Record{
 				Name: q.Name, Class: dnswire.ClassIN, TTL: p.TTL,
 				Data: dnswire.A{Addr: ip},
@@ -457,20 +458,20 @@ type replicaHTTP struct {
 	provider   string
 	city       string
 	processing stats.Dist
-	rng        *stats.RNG
 }
 
 // Serve implements vnet.Handler: a minimal HTTP GET responder whose
 // response identifies the serving replica.
 func (h *replicaHTTP) Serve(req vnet.Request) ([]byte, time.Duration, error) {
+	rng := req.Fabric.RNG()
 	line, _, _ := strings.Cut(string(req.Payload), "\r\n")
 	fields := strings.Fields(line)
 	if len(fields) < 3 || fields[0] != "GET" {
 		return []byte("HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n"),
-			h.processing.Sample(h.rng), nil
+			h.processing.Sample(rng), nil
 	}
 	body := fmt.Sprintf("served-by: %s/%s\npath: %s\n", h.provider, h.city, fields[1])
 	resp := fmt.Sprintf("HTTP/1.1 200 OK\r\nServer: %s\r\nContent-Length: %d\r\nContent-Type: text/plain\r\n\r\n%s",
 		h.provider, len(body), body)
-	return []byte(resp), h.processing.Sample(h.rng), nil
+	return []byte(resp), h.processing.Sample(rng), nil
 }

@@ -75,11 +75,11 @@ func TestDomainLookups(t *testing.T) {
 	}
 }
 
-func queryDomain(t *testing.T, p *Provider, name dnswire.Name, src netip.Addr) *dnswire.Message {
+func queryDomain(t *testing.T, f *vnet.Fabric, p *Provider, name dnswire.Name, src netip.Addr) *dnswire.Message {
 	t.Helper()
 	q := dnswire.NewQuery(9, name, dnswire.TypeA)
 	payload, _ := q.Pack()
-	raw, _, err := p.Serve(vnet.Request{Src: src, Payload: payload})
+	raw, _, err := p.Serve(vnet.Request{Fabric: f, Src: src, Payload: payload})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,10 +91,10 @@ func queryDomain(t *testing.T, p *Provider, name dnswire.Name, src netip.Addr) *
 }
 
 func TestADNSAnswersCNAMEChain(t *testing.T) {
-	c, _, _, _ := buildTestCDN(t)
+	c, _, f, _ := buildTestCDN(t)
 	d := c.Domains[0]
 	src := netip.MustParseAddr("66.10.3.4")
-	resp := queryDomain(t, d.Provider, d.Name, src)
+	resp := queryDomain(t, f, d.Provider, d.Name, src)
 	chain := resp.CNAMEChain()
 	if len(chain) != 1 || !chain[0].Equal(d.CNAME) {
 		t.Fatalf("CNAME chain = %v, want %s", chain, d.CNAME)
@@ -199,7 +199,7 @@ func TestKoreanPrefixStaysInCountry(t *testing.T) {
 }
 
 func TestECSOverridesResolverMapping(t *testing.T) {
-	c, _, _, loc := buildTestCDN(t)
+	c, _, f, loc := buildTestCDN(t)
 	p := c.Providers[0]
 	seattle, _ := geo.CityByName("seattle")
 	miami, _ := geo.CityByName("miami")
@@ -221,7 +221,7 @@ func TestECSOverridesResolverMapping(t *testing.T) {
 	near := 0
 	const trials = 20
 	for i := 0; i < trials; i++ {
-		raw, _, err := p.Serve(vnet.Request{Src: resolver, Payload: payload})
+		raw, _, err := p.Serve(vnet.Request{Fabric: f, Src: resolver, Payload: payload})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -240,20 +240,20 @@ func TestECSOverridesResolverMapping(t *testing.T) {
 }
 
 func TestADNSRefusesForeignName(t *testing.T) {
-	c, _, _, _ := buildTestCDN(t)
+	c, _, f, _ := buildTestCDN(t)
 	p := c.Providers[0]
-	resp := queryDomain(t, p, "www.unrelated.org", netip.MustParseAddr("10.0.0.1"))
+	resp := queryDomain(t, f, p, "www.unrelated.org", netip.MustParseAddr("10.0.0.1"))
 	if resp.Header.RCode != dnswire.RCodeRefused {
 		t.Fatalf("rcode = %v", resp.Header.RCode)
 	}
 }
 
 func TestADNSNoDataForAAAA(t *testing.T) {
-	c, _, _, _ := buildTestCDN(t)
+	c, _, f, _ := buildTestCDN(t)
 	d := c.Domains[0]
 	q := dnswire.NewQuery(3, d.Name, dnswire.TypeAAAA)
 	payload, _ := q.Pack()
-	raw, _, err := d.Provider.Serve(vnet.Request{Src: netip.MustParseAddr("10.0.0.1"), Payload: payload})
+	raw, _, err := d.Provider.Serve(vnet.Request{Fabric: f, Src: netip.MustParseAddr("10.0.0.1"), Payload: payload})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,9 +32,13 @@ type Resolution struct {
 	Kind   ResolverKind `json:"kind"`
 	Server netip.Addr   `json:"server"`
 	// RTT1 and RTT2 are the first and immediate second lookup times.
-	RTT1    time.Duration `json:"rtt1"`
-	RTT2    time.Duration `json:"rtt2"`
-	OK      bool          `json:"ok"`
+	RTT1 time.Duration `json:"rtt1"`
+	RTT2 time.Duration `json:"rtt2"`
+	OK   bool          `json:"ok"`
+	// OK2 reports that the second lookup itself succeeded; without it a
+	// failed repeat (RTT2 == 0) is indistinguishable from a very fast
+	// cached answer.
+	OK2     bool          `json:"ok2,omitempty"`
 	Answers []netip.Addr  `json:"answers,omitempty"`
 	CNAME   string        `json:"cname,omitempty"`
 	TTL     uint32        `json:"ttl,omitempty"`

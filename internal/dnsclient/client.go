@@ -64,10 +64,18 @@ type Result struct {
 	Msg *dnswire.Message
 	// RTT is the observed resolution time of the successful attempt.
 	RTT time.Duration
-	// Attempts is how many sends it took.
+	// Attempts is how many exchanges it took, counting the TCP retry
+	// after a truncated UDP response as one additional exchange.
 	Attempts int
 	// Server is the resolver queried.
 	Server netip.Addr
+	// UsedTCP reports that Msg is the full answer obtained over the TCP
+	// fallback after a truncated UDP response.
+	UsedTCP bool
+	// Truncated reports that Msg is a truncated partial answer (no TCP
+	// fallback configured, or the TCP retry failed), so analysis can
+	// distinguish full answers from partial ones.
+	Truncated bool
 }
 
 // IPs returns the answer-section addresses.
@@ -116,16 +124,29 @@ func (c *Client) Query(server netip.Addr, name dnswire.Name, t dnswire.Type) (*R
 		}
 		if msg.Header.Truncated && c.tcp != nil {
 			tcpRaw, tcpRTT, err := c.tcp.Exchange(server, payload)
+			// The TCP retry is a real exchange on the wire whether or not
+			// it succeeds, so it counts toward Attempts either way.
+			attempts := attempt + 1
 			if err == nil {
 				if full, perr := dnswire.Parse(tcpRaw); perr == nil &&
 					full.Header.ID == q.Header.ID && full.Header.Response {
-					return &Result{Msg: full, RTT: rtt + tcpRTT, Attempts: attempt, Server: server}, nil
+					return &Result{
+						Msg: full, RTT: rtt + tcpRTT, Attempts: attempts, Server: server,
+						UsedTCP: true, Truncated: full.Header.Truncated,
+					}, nil
 				}
 			}
-			// TCP retry failed; fall through with the truncated answer,
-			// which is still a valid (if partial) response.
+			// TCP retry failed; return the truncated answer, which is
+			// still a valid (if partial) response, and flag it as such.
+			return &Result{
+				Msg: msg, RTT: rtt, Attempts: attempts, Server: server,
+				Truncated: true,
+			}, nil
 		}
-		return &Result{Msg: msg, RTT: rtt, Attempts: attempt, Server: server}, nil
+		return &Result{
+			Msg: msg, RTT: rtt, Attempts: attempt, Server: server,
+			Truncated: msg.Header.Truncated,
+		}, nil
 	}
 	return nil, fmt.Errorf("%w: %w", ErrAllRetriesFailed, lastErr)
 }

@@ -131,6 +131,99 @@ func TestQueryRejectsGarbage(t *testing.T) {
 	}
 }
 
+func truncated(payload []byte, ip string) []byte {
+	q, err := dnswire.Parse(payload)
+	if err != nil {
+		panic(err)
+	}
+	r := q.Reply()
+	r.Header.Truncated = true
+	r.Answers = []dnswire.Record{{
+		Name: q.Questions[0].Name, Class: dnswire.ClassIN, TTL: 30,
+		Data: dnswire.A{Addr: netip.MustParseAddr(ip)},
+	}}
+	b, err := r.Pack()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestTCPFallbackOnTruncation(t *testing.T) {
+	udp := &scriptedTransport{steps: []func([]byte) ([]byte, time.Duration, error){
+		func(p []byte) ([]byte, time.Duration, error) {
+			return truncated(p, "10.4.4.4"), 20 * time.Millisecond, nil
+		},
+	}}
+	tcp := &scriptedTransport{steps: []func([]byte) ([]byte, time.Duration, error){
+		func(p []byte) ([]byte, time.Duration, error) {
+			return answer(p, "10.5.5.5"), 35 * time.Millisecond, nil
+		},
+	}}
+	c := New(udp, nil)
+	c.SetTCPFallback(tcp)
+	res, err := c.QueryA(server, "www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The TCP exchange is a real round trip: it must count in Attempts
+	// and in the observed RTT.
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (UDP + TCP)", res.Attempts)
+	}
+	if res.RTT != 55*time.Millisecond {
+		t.Fatalf("RTT = %v, want UDP+TCP sum 55ms", res.RTT)
+	}
+	if !res.UsedTCP || res.Truncated {
+		t.Fatalf("flags UsedTCP=%v Truncated=%v, want true/false", res.UsedTCP, res.Truncated)
+	}
+	if ips := res.IPs(); len(ips) != 1 || ips[0].String() != "10.5.5.5" {
+		t.Fatalf("IPs = %v, want the full TCP answer", ips)
+	}
+}
+
+func TestTCPFallbackFailureKeepsTruncatedAnswer(t *testing.T) {
+	udp := &scriptedTransport{steps: []func([]byte) ([]byte, time.Duration, error){
+		func(p []byte) ([]byte, time.Duration, error) {
+			return truncated(p, "10.4.4.4"), 20 * time.Millisecond, nil
+		},
+	}}
+	tcp := &scriptedTransport{steps: []func([]byte) ([]byte, time.Duration, error){
+		func(p []byte) ([]byte, time.Duration, error) { return nil, 0, errors.New("refused") },
+	}}
+	c := New(udp, nil)
+	c.SetTCPFallback(tcp)
+	res, err := c.QueryA(server, "www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (the failed TCP retry still happened)", res.Attempts)
+	}
+	if res.UsedTCP || !res.Truncated {
+		t.Fatalf("flags UsedTCP=%v Truncated=%v, want false/true", res.UsedTCP, res.Truncated)
+	}
+	if ips := res.IPs(); len(ips) != 1 || ips[0].String() != "10.4.4.4" {
+		t.Fatalf("IPs = %v, want the partial UDP answer", ips)
+	}
+}
+
+func TestTruncationWithoutFallback(t *testing.T) {
+	udp := &scriptedTransport{steps: []func([]byte) ([]byte, time.Duration, error){
+		func(p []byte) ([]byte, time.Duration, error) {
+			return truncated(p, "10.4.4.4"), 20 * time.Millisecond, nil
+		},
+	}}
+	c := New(udp, nil)
+	res, err := c.QueryA(server, "www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 || res.UsedTCP || !res.Truncated {
+		t.Fatalf("result %+v, want 1 attempt, no TCP, truncated flag set", res)
+	}
+}
+
 func TestNoTransport(t *testing.T) {
 	c := New(nil, nil)
 	if _, err := c.QueryA(server, "x"); !errors.Is(err, ErrNoTransport) {

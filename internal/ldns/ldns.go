@@ -175,13 +175,14 @@ type Engine struct {
 	// Clients maps source addresses to pairing inputs.
 	Clients ClientInfo
 
-	rng    *stats.RNG
 	caches []*Cache
 	nextID uint16
 }
 
 // NewEngine wires an engine; caches are created per external resolver.
-func NewEngine(carrier string, reg *zone.Registry, externals []External, pairing Pairing, clients ClientInfo, rng *stats.RNG) *Engine {
+// Randomness is drawn from the serving fabric's current generator at
+// resolve time, so a query's draws come from the active experiment stream.
+func NewEngine(carrier string, reg *zone.Registry, externals []External, pairing Pairing, clients ClientInfo) *Engine {
 	caches := make([]*Cache, len(externals))
 	for i := range caches {
 		caches[i] = NewCache()
@@ -194,9 +195,20 @@ func NewEngine(carrier string, reg *zone.Registry, externals []External, pairing
 		HitPrior:   0.8,
 		Processing: stats.LogNormal{Med: 1200 * time.Microsecond, Sigma: 0.4, Floor: 300 * time.Microsecond},
 		Clients:    clients,
-		rng:        rng,
 		caches:     caches,
 	}
+}
+
+// Reset clears the per-experiment mutable state: every external
+// resolver's cache and the upstream query-ID counter. Registered as a
+// fabric experiment-reset hook so cache warmth from one experiment never
+// leaks into another (which would make results depend on execution
+// order); population-level warmth is modeled by BackgroundQPS instead.
+func (e *Engine) Reset() {
+	for i := range e.caches {
+		e.caches[i] = NewCache()
+	}
+	e.nextID = 0
 }
 
 // ExternalFor exposes the pairing decision (ground truth for tests and
@@ -233,9 +245,10 @@ func (fr *Frontend) Serve(req vnet.Request) ([]byte, time.Duration, error) {
 // the client, forwards to the authoritative server from that identity on
 // a cache miss, and charges latency accordingly.
 func (e *Engine) Resolve(f *vnet.Fabric, query *dnswire.Message, frontend int, src netip.Addr, now time.Time) (*dnswire.Message, time.Duration) {
-	elapsed := e.Processing.Sample(e.rng)
+	rng := f.RNG()
+	elapsed := e.Processing.Sample(rng)
 	if e.InternalHop != nil {
-		elapsed += 2 * e.InternalHop.Sample(e.rng)
+		elapsed += 2 * e.InternalHop.Sample(rng)
 	}
 	reply := query.Reply()
 	reply.Header.RecursionAvailable = true
@@ -290,10 +303,10 @@ func (e *Engine) Resolve(f *vnet.Fabric, query *dnswire.Message, frontend int, s
 		elapsed += upRTT
 	case cache.Live(q.Name, now):
 		// Warm hit: answer served from cache, no upstream charge.
-	case e.rng.Bool(e.hitPrior(ttl)):
+	case rng.Bool(e.hitPrior(ttl)):
 		// Warm thanks to the background population; remaining lifetime is
 		// somewhere inside the TTL window.
-		remaining := time.Duration(e.rng.Float64() * float64(ttl))
+		remaining := time.Duration(rng.Float64() * float64(ttl))
 		cache.Store(q.Name, now.Add(remaining))
 	default:
 		elapsed += upRTT

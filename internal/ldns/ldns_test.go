@@ -75,7 +75,7 @@ func buildWorld(t *testing.T, n int, pairing Pairing, upstreamLatency time.Durat
 		}
 		return 0, 0, 0, false
 	}
-	eng := NewEngine("testnet", reg, exts, pairing, clients, rng.Fork(3))
+	eng := NewEngine("testnet", reg, exts, pairing, clients)
 	eng.Processing = stats.Constant{V: time.Millisecond}
 	fr := &Frontend{Index: 0, Addr: cfAddr, Eng: eng}
 	f.AddEndpoint("frontend", geo.Point{}, 64503, cfAddr).Handle(53, fr)

@@ -15,6 +15,7 @@
 package measure
 
 import (
+	"math"
 	"net/netip"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"cellcurtain/internal/dnswire"
 	"cellcurtain/internal/probe"
 	"cellcurtain/internal/sim"
+	"cellcurtain/internal/stats"
 )
 
 // Runner executes experiments against a world.
@@ -48,17 +50,29 @@ type resolverTarget struct {
 }
 
 // Run executes one experiment for client c at virtual time now and
-// returns the record. The client's Loc and Tech fields must already be
-// set for this experiment.
+// returns the record, numbering experiments with the runner's own
+// counter. The client's Loc and Tech fields must already be set for this
+// experiment.
 func (r *Runner) Run(c *carrier.Client, now time.Time) *dataset.Experiment {
+	r.seq++
+	return r.RunAt(c, now, r.seq, nil)
+}
+
+// RunAt executes one experiment with an explicit sequence number and an
+// optional dedicated random stream. When stream is non-nil the fabric's
+// generator is replaced for the duration of the experiment and all
+// attached per-experiment service state is reset, making the record a
+// pure function of (world structure, client, now, seq, stream) — the
+// property sharded campaign execution relies on for worker-count
+// invariance.
+func (r *Runner) RunAt(c *carrier.Client, now time.Time, seq int, stream *stats.RNG) *dataset.Experiment {
 	w := r.World
 	f := w.Fabric
-	f.SetNow(now)
-	r.seq++
+	f.BeginExperiment(now, stream)
 
 	cn := clientNetwork(w, c)
 	exp := &dataset.Experiment{
-		Seq:        r.seq,
+		Seq:        seq,
 		ClientID:   c.ID,
 		Carrier:    cn.Name,
 		Country:    cn.Country,
@@ -97,7 +111,12 @@ func (r *Runner) Run(c *carrier.Client, now time.Time) *dataset.Experiment {
 				if ch := first.Msg.CNAMEChain(); len(ch) > 0 {
 					res.CNAME = string(ch[0])
 				}
-				if second, err2 := dc.QueryA(tgt.addr, domain); err2 == nil {
+				// The second lookup only counts when it actually succeeds;
+				// otherwise RTT2 stays zero AND OK2 stays false, so a failed
+				// repeat is distinguishable from a very fast cached answer.
+				if second, err2 := dc.QueryA(tgt.addr, domain); err2 == nil &&
+					second.Msg.Header.RCode == dnswire.RCodeSuccess {
+					res.OK2 = true
 					res.RTT2 = second.RTT
 				}
 			}
@@ -116,7 +135,7 @@ func (r *Runner) Run(c *carrier.Client, now time.Time) *dataset.Experiment {
 			rp.TTFB, rp.HTTPOK = get.TTFB, get.OK
 			exp.ReplicaProbes = append(exp.ReplicaProbes, rp)
 
-			if exp.EgressTrace == nil && !seen[ip] && r.TracerouteEvery > 0 && r.seq%r.TracerouteEvery == 0 {
+			if exp.EgressTrace == nil && !seen[ip] && r.TracerouteEvery > 0 && seq%r.TracerouteEvery == 0 {
 				exp.EgressTrace = probe.RespondingHops(probe.Traceroute(f, c.Addr, ip))
 			}
 			seen[ip] = true
@@ -161,9 +180,12 @@ func clientNetwork(w *sim.World, c *carrier.Client) *carrier.Network {
 	panic("measure: client does not belong to any carrier")
 }
 
-// roundCoarse rounds a coordinate to ~100 m granularity, matching the
-// paper's coarse location recording ("rounded up to a 100-meter radius").
+// roundCoarse snaps a coordinate to a ~100 m grid, matching the paper's
+// coarse location recording ("rounded up to a 100-meter radius").
+// Floor-based snapping keeps the grid uniform across the sign boundary;
+// integer truncation would round negative coordinates (all US
+// longitudes) toward zero, the opposite direction from positive ones.
 func roundCoarse(v float64) float64 {
 	const grid = 0.001
-	return float64(int64(v/grid)) * grid
+	return math.Floor(v/grid) * grid
 }

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -116,8 +117,20 @@ func TestCoarseLocationRounding(t *testing.T) {
 	if got := roundCoarse(41.87891234); got != 41.878 {
 		t.Fatalf("roundCoarse = %v", got)
 	}
-	if got := roundCoarse(-87.63991); got != -87.639 {
-		t.Fatalf("negative roundCoarse = %v", got)
+	// Regression: snapping must floor, not truncate toward zero —
+	// negative coordinates (all US longitudes) previously rounded in the
+	// opposite direction from positive ones.
+	if got := roundCoarse(-87.63991); got != -87.64 {
+		t.Fatalf("negative roundCoarse = %v, want -87.64", got)
+	}
+	if got := roundCoarse(-0.0004); got != -0.001 {
+		t.Fatalf("roundCoarse(-0.0004) = %v, want -0.001", got)
+	}
+	// Grid cells stay uniform across the sign boundary: a point and its
+	// mirror land the same distance inside their respective cells.
+	a, b := roundCoarse(0.01234), roundCoarse(-0.01234)
+	if math.Abs(a-0.012) > 1e-9 || math.Abs(b-(-0.013)) > 1e-9 {
+		t.Fatalf("sign-boundary snap: %v / %v", a, b)
 	}
 }
 

@@ -61,11 +61,9 @@ type Service struct {
 
 	registry *zone.Registry
 	egress   EgressInfo
-	rng      *stats.RNG
 	caches   []*cacheShard
 	seed     uint64
 	nextID   uint16
-	srcNext  []int
 }
 
 type cacheShard struct{ entries map[string]time.Time }
@@ -124,7 +122,6 @@ func Build(f *vnet.Fabric, reg *zone.Registry, egress EgressInfo, spec Spec) (*S
 		Processing:      stats.LogNormal{Med: 800 * time.Microsecond, Sigma: 0.3, Floor: 200 * time.Microsecond},
 		registry:        reg,
 		egress:          egress,
-		rng:             stats.NewRNG(spec.Seed ^ 0x9D5),
 		seed:            spec.Seed,
 	}
 	for i, city := range cities {
@@ -137,14 +134,24 @@ func Build(f *vnet.Fabric, reg *zone.Registry, egress EgressInfo, spec Spec) (*S
 		}
 		s.Clusters = append(s.Clusters, cl)
 		s.caches = append(s.caches, &cacheShard{entries: map[string]time.Time{}})
-		s.srcNext = append(s.srcNext, 0)
 	}
 	// The VIP endpoint carries the resolver service; its observed
 	// location varies per client, which the router handles through
 	// ClusterFor.
 	ep := f.AddEndpoint(spec.Name+"/vip", cities[0].Loc, 15169, s.VIP)
 	ep.Handle(53, s)
+	f.OnExperimentReset(s.Reset)
 	return s, nil
+}
+
+// Reset clears the per-experiment mutable state (cluster caches and the
+// upstream query-ID counter); registered as a fabric experiment-reset
+// hook. Population-level warmth is modeled by HitPrior.
+func (s *Service) Reset() {
+	for i := range s.caches {
+		s.caches[i] = &cacheShard{entries: map[string]time.Time{}}
+	}
+	s.nextID = 0
 }
 
 // ClusterFor returns the cluster index serving a given source address at
@@ -244,7 +251,8 @@ func (s *Service) Serve(req vnet.Request) ([]byte, time.Duration, error) {
 }
 
 func (s *Service) resolve(f *vnet.Fabric, query *dnswire.Message, src netip.Addr, now time.Time) (*dnswire.Message, time.Duration) {
-	elapsed := s.Processing.Sample(s.rng)
+	rng := f.RNG()
+	elapsed := s.Processing.Sample(rng)
 	reply := query.Reply()
 	reply.Header.RecursionAvailable = true
 	if len(query.Questions) != 1 {
@@ -259,9 +267,11 @@ func (s *Service) resolve(f *vnet.Fabric, query *dnswire.Message, src netip.Addr
 	}
 	ci := s.ClusterFor(src, now)
 	cl := s.Clusters[ci]
-	// Rotate upstream source addresses within the cluster.
-	srcAddr := cl.Sources[s.srcNext[ci]%len(cl.Sources)]
-	s.srcNext[ci]++
+	// Upstream queries originate from a varying address within the
+	// serving cluster's /24 (Table 5: many resolver IPs, few /24s). A
+	// uniform draw from the experiment stream preserves that diversity
+	// without the execution-order dependence of a rotation counter.
+	srcAddr := cl.Sources[rng.Intn(len(cl.Sources))]
 
 	s.nextID++
 	upstream := dnswire.NewQuery(s.nextID, q.Name, q.Type)
@@ -287,8 +297,8 @@ func (s *Service) resolve(f *vnet.Fabric, query *dnswire.Message, src netip.Addr
 	case ttl == 0 || len(ans.Answers) == 0:
 		elapsed += upRTT
 	case cache.live(q.Name, now):
-	case s.rng.Bool(s.HitPrior):
-		cache.store(q.Name, now.Add(time.Duration(s.rng.Float64()*float64(ttl))))
+	case rng.Bool(s.HitPrior):
+		cache.store(q.Name, now.Add(time.Duration(rng.Float64()*float64(ttl))))
 	default:
 		elapsed += upRTT
 		cache.store(q.Name, now.Add(ttl))

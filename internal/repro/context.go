@@ -39,6 +39,11 @@ func NewContextWorld(cfg trace.Config, simCfg sim.Config) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.WorldFactory == nil {
+		// Worker shards rebuild identical worlds from the same config;
+		// sim.New is deterministic in simCfg.
+		cfg.WorldFactory = func() (*sim.World, error) { return sim.New(simCfg) }
+	}
 	camp, err := trace.NewCampaign(w, cfg)
 	if err != nil {
 		return nil, err

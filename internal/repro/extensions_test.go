@@ -71,7 +71,10 @@ func TestABLConsistency(t *testing.T) {
 			continue
 		}
 		counted++
-		if stable <= base {
+		// The two p90s come from independent campaign realizations, so
+		// "no worse" carries a 1% noise margin: an exact <= flags ties
+		// that differ only in which tail sample lands at the quantile.
+		if stable <= base*1.01 {
 			improved++
 		}
 	}

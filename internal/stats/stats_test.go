@@ -44,6 +44,65 @@ func TestRNGForkStability(t *testing.T) {
 	}
 }
 
+func TestStreamDeterminism(t *testing.T) {
+	a := Stream(2014, 7, 42)
+	b := Stream(2014, 7, 42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identical (seed, labels) must produce identical streams")
+		}
+	}
+}
+
+func TestStreamLabelsSeparate(t *testing.T) {
+	// Streams for neighbouring labels must be unrelated — this is what
+	// makes per-experiment streams worker-count invariant.
+	draws := map[uint64]string{}
+	for seed := uint64(1); seed <= 3; seed++ {
+		for client := uint64(0); client < 4; client++ {
+			for seq := uint64(1); seq <= 8; seq++ {
+				v := Stream(seed, client, seq).Uint64()
+				if prev, dup := draws[v]; dup {
+					t.Fatalf("streams collide: (%d,%d,%d) and %s", seed, client, seq, prev)
+				}
+				draws[v] = "earlier labels"
+			}
+		}
+	}
+}
+
+func TestStreamLabelOrderMatters(t *testing.T) {
+	if Stream(1, 2, 3).Uint64() == Stream(1, 3, 2).Uint64() {
+		t.Fatal("label order must affect the stream")
+	}
+}
+
+func TestDeriveStability(t *testing.T) {
+	r := NewRNG(7)
+	d1 := r.Derive(5, 9)
+	d2 := r.Derive(5, 9)
+	for i := 0; i < 100; i++ {
+		if d1.Uint64() != d2.Uint64() {
+			t.Fatal("Derive must not consume parent state")
+		}
+	}
+	if r.Derive(5, 9).Uint64() == r.Derive(9, 5).Uint64() {
+		t.Fatal("Derive with different label orders should diverge (w.h.p.)")
+	}
+}
+
+func TestStreamFloat64Mean(t *testing.T) {
+	r := Stream(99, 1, 1)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("stream mean = %.3f, want ~0.5", mean)
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := NewRNG(3)
 	f := func(_ uint8) bool {

@@ -6,6 +6,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"cellcurtain/internal/carrier"
@@ -39,6 +40,16 @@ type Config struct {
 	ClientScale float64
 	// TracerouteEvery thins replica traceroutes (1 = every experiment).
 	TracerouteEvery int
+	// Workers is the number of parallel execution shards (<= 1 = serial).
+	// Experiments are independent — each runs on a per-experiment random
+	// stream derived from (Seed, client, seq) — so the collected dataset
+	// is byte-identical for any worker count at a fixed seed.
+	Workers int
+	// WorldFactory rebuilds the simulation world; each worker beyond the
+	// first drives its own replica so experiments never share mutable
+	// fabric state. Required when Workers > 1, and must be deterministic
+	// (same seed/config as the campaign's primary world).
+	WorldFactory func() (*sim.World, error)
 }
 
 // DefaultConfig returns the paper-shaped campaign configuration.
@@ -78,6 +89,9 @@ func (c Config) withDefaults() Config {
 	if c.TracerouteEvery <= 0 {
 		c.TracerouteEvery = d.TracerouteEvery
 	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
 	return c
 }
 
@@ -90,6 +104,10 @@ type Campaign struct {
 	runner *measure.Runner
 	rng    *stats.RNG
 	homes  map[string]geo.City
+	// replicas are the worker shards beyond the first: identical
+	// campaigns over independently built worlds. Worker w handles
+	// clients w, w+Workers, w+2*Workers, ... on its own replica.
+	replicas []*Campaign
 }
 
 // NewCampaign subscribes the client population and prepares the runner.
@@ -119,6 +137,29 @@ func NewCampaign(w *sim.World, cfg Config) (*Campaign, error) {
 			client := cn.NewClient(id, home)
 			c.homes[id] = city
 			c.Clients = append(c.Clients, client)
+		}
+	}
+	if cfg.Workers > 1 {
+		if cfg.WorldFactory == nil {
+			return nil, fmt.Errorf("trace: Workers=%d requires a WorldFactory", cfg.Workers)
+		}
+		for i := 1; i < cfg.Workers; i++ {
+			rw, err := cfg.WorldFactory()
+			if err != nil {
+				return nil, fmt.Errorf("trace: building world replica %d: %w", i, err)
+			}
+			repCfg := cfg
+			repCfg.Workers = 1
+			repCfg.WorldFactory = nil
+			rep, err := NewCampaign(rw, repCfg)
+			if err != nil {
+				return nil, fmt.Errorf("trace: campaign replica %d: %w", i, err)
+			}
+			if len(rep.Clients) != len(c.Clients) {
+				return nil, fmt.Errorf("trace: world replica %d subscribed %d clients, want %d (WorldFactory not deterministic?)",
+					i, len(rep.Clients), len(c.Clients))
+			}
+			c.replicas = append(c.replicas, rep)
 		}
 	}
 	return c, nil
@@ -159,21 +200,70 @@ func (c *Campaign) Steps() int {
 	return int(c.Config.End.Sub(c.Config.Start) / c.Config.Interval)
 }
 
-// Run executes the full campaign, invoking record for every experiment.
-// Pass a dataset.Dataset's Add method to collect everything in memory.
+// postCampaignLabel derives the stream that rebases every shard's fabric
+// after the campaign, so post-campaign probing (table/figure analyses)
+// sees identical fabric state regardless of worker count.
+const postCampaignLabel = 0x90D7
+
+// Run executes the full campaign, invoking record for every experiment
+// in canonical (time, client, seq) order. Each experiment runs on its
+// own random stream derived from (Seed, client, seq), so the recorded
+// dataset is byte-identical whether the campaign runs serially or
+// sharded across workers.
 func (c *Campaign) Run(record func(*dataset.Experiment)) {
-	for step := 0; step < c.Steps(); step++ {
-		base := c.Config.Start.Add(time.Duration(step) * c.Config.Interval)
-		for _, client := range c.Clients {
-			cn := networkOf(c.World, client)
-			// Spread devices inside the round so they do not measure in
-			// lock-step (the paper's devices were independent).
-			offset := time.Duration(client.Key%uint64(c.Config.Interval/time.Minute)) * time.Minute
-			now := base.Add(offset)
-			c.prepare(client, cn, now)
-			record(c.runner.Run(client, now))
+	steps, clients := c.Steps(), len(c.Clients)
+	shards := append([]*Campaign{c}, c.replicas...)
+	if len(shards) == 1 {
+		for step := 0; step < steps; step++ {
+			for i := range c.Clients {
+				record(c.runExperiment(step, i))
+			}
+		}
+	} else {
+		// Worker w owns clients w, w+W, w+2W, ... for every step, on its
+		// own world replica; results land at their canonical index.
+		results := make([]*dataset.Experiment, steps*clients)
+		var wg sync.WaitGroup
+		for w, shard := range shards {
+			wg.Add(1)
+			go func(w int, shard *Campaign) {
+				defer wg.Done()
+				for step := 0; step < steps; step++ {
+					for i := w; i < clients; i += len(shards) {
+						results[step*clients+i] = shard.runExperiment(step, i)
+					}
+				}
+			}(w, shard)
+		}
+		wg.Wait()
+		for _, e := range results {
+			record(e)
 		}
 	}
+	// Leave every fabric in a canonical post-campaign state so analyses
+	// that probe after Run are also worker-count invariant.
+	for _, shard := range shards {
+		shard.World.Fabric.BeginExperiment(c.Config.End,
+			stats.Stream(c.Config.Seed, postCampaignLabel, uint64(steps*clients)))
+	}
+}
+
+// runExperiment executes experiment (step, clientIdx). The canonical
+// sequence number and the per-experiment random stream depend only on
+// the experiment's identity — never on which worker runs it or in what
+// order — which is what makes execution worker-count invariant.
+func (c *Campaign) runExperiment(step, clientIdx int) *dataset.Experiment {
+	client := c.Clients[clientIdx]
+	cn := networkOf(c.World, client)
+	base := c.Config.Start.Add(time.Duration(step) * c.Config.Interval)
+	// Spread devices inside the round so they do not measure in
+	// lock-step (the paper's devices were independent).
+	offset := time.Duration(client.Key%uint64(c.Config.Interval/time.Minute)) * time.Minute
+	now := base.Add(offset)
+	c.prepare(client, cn, now)
+	seq := step*len(c.Clients) + clientIdx + 1
+	stream := stats.Stream(c.Config.Seed, client.Key, uint64(seq))
+	return c.runner.RunAt(client, now, seq, stream)
 }
 
 // Collect runs the campaign into a fresh in-memory dataset.

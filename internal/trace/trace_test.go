@@ -211,6 +211,78 @@ func TestCampaignDeterminism(t *testing.T) {
 	}
 }
 
+func workerCampaign(t *testing.T, workers, days int, scale float64) *dataset.Dataset {
+	t.Helper()
+	w, err := sim.New(sim.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(7)
+	cfg.ClientScale = scale
+	cfg.End = cfg.Start.Add(time.Duration(days) * 24 * time.Hour)
+	cfg.Workers = workers
+	cfg.WorldFactory = func() (*sim.World, error) { return sim.New(sim.Config{Seed: 7}) }
+	c, err := NewCampaign(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Collect()
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	// The tentpole guarantee: the collected dataset is byte-identical no
+	// matter how many workers shard the campaign.
+	serial := workerCampaign(t, 1, 2, 0.08)
+	var want bytes.Buffer
+	if err := serial.WriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() == 0 {
+		t.Fatal("empty campaign")
+	}
+	for _, workers := range []int{4, 8} {
+		ds := workerCampaign(t, workers, 2, 0.08)
+		var got bytes.Buffer
+		if err := ds.WriteJSONL(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			line := 0
+			wl, gl := bytes.Split(want.Bytes(), []byte("\n")), bytes.Split(got.Bytes(), []byte("\n"))
+			for line < len(wl) && line < len(gl) && bytes.Equal(wl[line], gl[line]) {
+				line++
+			}
+			t.Fatalf("workers=%d dataset diverges from serial at line %d", workers, line)
+		}
+	}
+}
+
+func TestWorkersRequireWorldFactory(t *testing.T) {
+	w, err := sim.New(sim.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(7)
+	cfg.Workers = 4
+	if _, err := NewCampaign(w, cfg); err == nil {
+		t.Fatal("Workers>1 without a WorldFactory should fail")
+	}
+}
+
+func TestParallelRunUnderRace(t *testing.T) {
+	// Exercises the worker pool with more shards than clients per step;
+	// meaningful mainly under -race, which must stay silent.
+	ds := workerCampaign(t, 8, 1, 0.05)
+	if ds.Len() == 0 {
+		t.Fatal("empty campaign")
+	}
+	for i, e := range ds.Experiments {
+		if e.Seq != i+1 {
+			t.Fatalf("merge order broken at %d: seq %d", i, e.Seq)
+		}
+	}
+}
+
 func TestByCarrierSplit(t *testing.T) {
 	_, ds := smallCampaign(t, 1, 0.05)
 	split := ds.ByCarrier()

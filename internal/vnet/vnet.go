@@ -155,6 +155,9 @@ type Fabric struct {
 	router    Router
 	endpoints map[netip.Addr]*Endpoint
 	now       time.Time
+	// resetHooks run at each BeginExperiment, clearing per-experiment
+	// state (resolver caches, query-ID counters) in attached services.
+	resetHooks []func()
 	// ProbeTimeout is the duration reported for lost or blocked probes.
 	ProbeTimeout time.Duration
 	// MaxTTL bounds traceroute exploration.
@@ -186,6 +189,31 @@ func (f *Fabric) SetNow(t time.Time) { f.now = t }
 // RNG exposes the fabric's deterministic generator for components that
 // need coherent randomness.
 func (f *Fabric) RNG() *stats.RNG { return f.rng }
+
+// OnExperimentReset registers a hook invoked by BeginExperiment. Services
+// holding per-experiment mutable state (resolver caches, ID counters)
+// register here so no state leaks between experiments, which would make
+// results depend on execution order.
+func (f *Fabric) OnExperimentReset(hook func()) {
+	f.resetHooks = append(f.resetHooks, hook)
+}
+
+// BeginExperiment rebases the virtual clock, installs the experiment's
+// dedicated random stream (a nil stream keeps the current generator), and
+// fires the registered reset hooks. After this call every latency sample,
+// loss draw and cache decision is a pure function of (world structure,
+// now, stream) — independent of how many experiments ran before on this
+// fabric, which is what makes sharded campaign execution byte-identical
+// to serial execution.
+func (f *Fabric) BeginExperiment(now time.Time, stream *stats.RNG) {
+	f.now = now
+	if stream != nil {
+		f.rng = stream
+	}
+	for _, hook := range f.resetHooks {
+		hook()
+	}
+}
 
 // AddEndpoint registers a host at one or more addresses. The same
 // *Endpoint may back several addresses (anycast).

@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# bench.sh — campaign-parallelism benchmark, recorded as BENCH_campaign.json.
+#
+# Run from anywhere inside the repo:
+#
+#	./scripts/bench.sh [benchtime]
+#
+# Runs BenchmarkCampaign (two simulated days, full 158-device population)
+# at 1, 4 and 8 workers and writes ns/op plus the speedup over the serial
+# run to BENCH_campaign.json. The host's core count is recorded alongside:
+# worker sharding cannot beat the cores actually available, so on a
+# single-core host the expected speedup is ~1.0x and the number documents
+# scheduling overhead rather than parallel gain.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-3x}"
+out="BENCH_campaign.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+cores="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+
+echo "==> go test -bench BenchmarkCampaign -benchtime $benchtime (cores: $cores)"
+go test -run '^$' -bench '^BenchmarkCampaign/' -benchtime "$benchtime" -timeout 1800s . | tee "$raw"
+
+awk -v cores="$cores" -v benchtime="$benchtime" '
+/^BenchmarkCampaign\/workers=/ {
+	split($1, parts, "=")
+	sub(/-.*/, "", parts[2])
+	w = parts[2] + 0
+	ns[w] = $3 + 0
+	if (nworkers == 0 || !(w in seen)) { order[++nworkers] = w; seen[w] = 1 }
+}
+END {
+	if (!(1 in ns)) { print "bench.sh: no workers=1 result" > "/dev/stderr"; exit 1 }
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkCampaign\",\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"host_cores\": %d,\n", cores
+	printf "  \"note\": \"speedup is bounded by host_cores; results are byte-identical at every worker count\",\n"
+	printf "  \"runs\": [\n"
+	for (i = 1; i <= nworkers; i++) {
+		w = order[i]
+		printf "    {\"workers\": %d, \"ns_per_op\": %.0f, \"speedup_vs_serial\": %.2f}%s\n",
+			w, ns[w], ns[1] / ns[w], (i < nworkers ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "bench.sh: wrote $out"
+cat "$out"

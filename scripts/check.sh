@@ -24,4 +24,10 @@ go run ./cmd/curtainlint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> worker-count invariance (workers 1/4/8 -> identical dataset)"
+go test -race -count=1 -run '^TestWorkerCountInvariance$' ./internal/trace/
+
+echo "==> benchmark smoke (1 iteration of BenchmarkCampaign/workers=1)"
+go test -run '^$' -bench '^BenchmarkCampaign/workers=1$' -benchtime 1x .
+
 echo "check.sh: all gates passed"
