@@ -54,6 +54,11 @@ type Options struct {
 	// driving its own world replica; 0 means 1 (serial). The dataset is
 	// byte-identical for any worker count at a fixed seed.
 	Workers int
+	// Faults, when non-empty, runs the campaign under an injected fault
+	// scenario: a preset name (fault.PresetNames) or internal/fault DSL
+	// text. Injections are deterministic in Seed, so fault campaigns are
+	// reproducible and worker-count invariant like fault-free ones.
+	Faults string
 }
 
 func (o Options) campaignConfig() trace.Config {
@@ -82,6 +87,7 @@ func (o Options) campaignConfig() trace.Config {
 	if o.Workers > 0 {
 		cfg.Workers = o.Workers
 	}
+	cfg.Faults = o.Faults
 	return cfg
 }
 
@@ -119,9 +125,10 @@ func NewStudy(opts Options) (*Study, error) {
 func ExperimentIDs() []string { return repro.IDs() }
 
 // ExtensionIDs lists the beyond-the-paper experiments: the §7 EDNS
-// client-subnet what-if ("ECS") and the ablations of cache TTLs
-// ("ABL-TTL") and resolver-pairing churn ("ABL-CONSISTENCY"). All are
-// accepted by Study.Reproduce.
+// client-subnet what-if ("ECS"), the ablations of cache TTLs ("ABL-TTL")
+// and resolver-pairing churn ("ABL-CONSISTENCY"), and the fault-campaign
+// availability report ("AVAIL", most useful with Options.Faults set). All
+// are accepted by Study.Reproduce.
 func ExtensionIDs() []string { return repro.ExtensionIDs() }
 
 // Reproduce regenerates one artifact by ID.

@@ -94,6 +94,16 @@ func runAnalyze(args []string) error {
 	}
 	tw.Flush()
 
+	fmt.Println("\navailability (resolution outcomes; fault campaigns)")
+	fmt.Fprintln(tw, "carrier\tlookups\tok %\tservfail %\ttimeout %\tfailover %\tretry amp")
+	for _, name := range carriers {
+		a := analysis.ResolutionAvailability(byCarrier[name], "")
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n",
+			name, a.Total, a.Rate()*100, a.Frac(a.ServFail)*100,
+			a.Frac(a.Timeout)*100, a.Frac(a.FailedOver)*100, a.RetryAmplification())
+	}
+	tw.Flush()
+
 	fmt.Println("\nresolver churn per busiest client (Figs 8/12)")
 	fmt.Fprintln(tw, "carrier\tclient\tobs\tlocal IPs\tlocal /24s\tgoogle /24s")
 	for _, name := range carriers {

@@ -66,7 +66,12 @@ flags (report/exp/simulate):
   -interval-hours N   per-device experiment period (default 12)
   -scale F            client population scale (default 1.0 = 158 devices)
   -workers N          parallel campaign workers (default 1; results are
-                      byte-identical for any worker count)`)
+                      byte-identical for any worker count)
+  -faults S           fault scenario: a preset (resolver-outage,
+                      resolver-blackhole, radio-degraded, resolver-flap,
+                      public-dns-storm, authority-outage) or DSL text like
+                      "outage:target=local,start=25%,dur=50%,mode=servfail"
+                      (deterministic in -seed; see internal/fault)`)
 }
 
 func studyFlags(fs *flag.FlagSet) func() (*cellcurtain.Study, error) {
@@ -75,11 +80,12 @@ func studyFlags(fs *flag.FlagSet) func() (*cellcurtain.Study, error) {
 	interval := fs.Int("interval-hours", 0, "experiment period in hours")
 	scale := fs.Float64("scale", 0, "client population scale")
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = serial)")
+	faults := fs.String("faults", "", "fault scenario (preset name or DSL)")
 	return func() (*cellcurtain.Study, error) {
 		fmt.Fprintln(os.Stderr, "curtain: building world and running campaign...")
 		s, err := cellcurtain.NewStudy(cellcurtain.Options{
 			Seed: *seed, Days: *days, IntervalHours: *interval, ClientScale: *scale,
-			Workers: *workers,
+			Workers: *workers, Faults: *faults,
 		})
 		if err != nil {
 			return nil, err
@@ -116,7 +122,7 @@ func runReport(args []string) error {
 
 func runExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ExitOnError)
-	id := fs.String("id", "", "experiment id (T1-T5, F2-F14, EGRESS)")
+	id := fs.String("id", "", "experiment id (T1-T5, F2-F14, EGRESS, extensions like AVAIL)")
 	build := studyFlags(fs)
 	fs.Parse(args)
 	if *id == "" {

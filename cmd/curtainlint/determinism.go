@@ -12,6 +12,7 @@ import (
 var determinismDirs = []string{
 	"internal/sim", "internal/vnet", "internal/carrier",
 	"internal/cdn", "internal/analysis", "internal/stats",
+	"internal/fault",
 }
 
 // forbiddenTimeFuncs are the time package's wall-clock entry points.

@@ -14,7 +14,7 @@ func ExampleExperimentIDs() {
 	fmt.Println("extensions:", strings.Join(cellcurtain.ExtensionIDs(), " "))
 	// Output:
 	// 19 paper artifacts, first: T1 last: F14
-	// extensions: ECS ABL-TTL ABL-CONSISTENCY ABL-GRANULARITY
+	// extensions: ECS ABL-TTL ABL-CONSISTENCY ABL-GRANULARITY AVAIL
 }
 
 // A minimal study: tiny population, three days, fully deterministic.

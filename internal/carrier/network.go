@@ -455,6 +455,16 @@ func (c *Client) ConfiguredResolver() netip.Addr {
 // FrontendIndex returns the index of the configured resolver.
 func (c *Client) FrontendIndex() int { return c.frontend }
 
+// SecondaryResolver returns the device's fallback DNS server: the next
+// client-facing resolver after the configured one. The paper observes
+// carriers provisioning devices with LDNS pairs; here the pair doubles as
+// an availability mechanism when the primary stops answering. A carrier
+// exposing a single client-facing address returns it unchanged (the
+// device has no real alternative).
+func (c *Client) SecondaryResolver() netip.Addr {
+	return c.net.ClientFacing[(c.frontend+1)%len(c.net.ClientFacing)]
+}
+
 // EgressAt returns the client's egress index at a point in time.
 // Re-routing happens on EgressChurnEpoch boundaries even for stationary
 // clients (§4.5/Fig 9), favouring nearby egresses.

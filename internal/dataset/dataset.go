@@ -44,6 +44,23 @@ type Resolution struct {
 	TTL     uint32        `json:"ttl,omitempty"`
 	// Radio is the technology active during the lookup (Fig 3).
 	Radio string `json:"radio"`
+	// Outcome classifies how the first lookup ended ("ok", "nxdomain",
+	// "servfail", "refused", "timeout", "error"); empty in datasets
+	// predating the resilience fields.
+	Outcome string `json:"outcome,omitempty"`
+	// Outcome2 classifies the immediate second lookup, attempted only when
+	// the first returned data.
+	Outcome2 string `json:"outcome2,omitempty"`
+	// Attempts is how many exchanges the first lookup used, counting
+	// retries and failover; 0 in datasets predating the field.
+	Attempts int `json:"attempts,omitempty"`
+	// FailedOver reports the first lookup was answered (or last tried) by
+	// the fallback resolver after the primary failed.
+	FailedOver bool `json:"failed_over,omitempty"`
+	// Cost is the total time the first lookup burned: every attempt's
+	// elapsed time plus backoff waits — equal to RTT1 on a clean success.
+	// Failure cost is what feeds the SERVFAIL/timeout CDFs.
+	Cost time.Duration `json:"cost,omitempty"`
 }
 
 // Discovery is one whoami resolver-identity discovery.
@@ -55,6 +72,9 @@ type Discovery struct {
 	// External is the resolver identity the authoritative server saw.
 	External netip.Addr `json:"external"`
 	OK       bool       `json:"ok"`
+	// Outcome classifies the whoami lookup like Resolution.Outcome; a
+	// discovery can fail with an explicit reason instead of a bare !OK.
+	Outcome string `json:"outcome,omitempty"`
 }
 
 // ResolverProbe is a ping toward resolver infrastructure.
@@ -102,6 +122,9 @@ type Experiment struct {
 	// EgressTrace is the responding hops of one traceroute toward a
 	// replica, for §5.2 egress extraction.
 	EgressTrace []netip.Addr `json:"egress_trace,omitempty"`
+	// TraceFailed records that the egress traceroute itself failed (no
+	// route), as opposed to simply eliciting no responding hops.
+	TraceFailed bool `json:"trace_failed,omitempty"`
 }
 
 // DiscoveredExternal returns the whoami-observed external resolver for a

@@ -21,6 +21,7 @@ var (
 	ErrIDMismatch       = errors.New("dnsclient: response ID does not match query")
 	ErrNotResponse      = errors.New("dnsclient: message is not a response")
 	ErrNoTransport      = errors.New("dnsclient: no transport configured")
+	ErrNoServers        = errors.New("dnsclient: no servers given")
 	ErrAllRetriesFailed = errors.New("dnsclient: all retries failed")
 )
 
@@ -36,8 +37,23 @@ type Client struct {
 	// tcp, when set, is used to retry queries whose UDP responses arrive
 	// truncated (TC bit, RFC 1035 §4.2.2).
 	tcp Transport
-	// Retries is the number of attempts per query (>= 1).
+	// Retries is the number of attempts per server (>= 1).
 	Retries int
+	// Backoff is the base delay inserted before the second attempt; it
+	// doubles for every further attempt (capped at BackoffMax, when set).
+	// Zero disables inter-attempt waiting.
+	Backoff time.Duration
+	// BackoffMax caps the exponential growth of Backoff.
+	BackoffMax time.Duration
+	// Jitter, when set, returns uniform [0, 1) draws used to randomize
+	// each backoff delay (equal jitter: half fixed, half drawn). The
+	// simulation wires a deterministic stream derived from the experiment
+	// RNG; the real-socket tools may leave it nil.
+	Jitter func() float64
+	// Sleep, when set, actually waits between attempts. The simulation
+	// leaves it nil: backoff is accounted in Result.Wait as virtual time,
+	// never slept.
+	Sleep func(time.Duration)
 	// nextID produces query IDs; deterministic in simulation, random-ish
 	// otherwise.
 	nextID func() uint16
@@ -76,6 +92,15 @@ type Result struct {
 	// fallback configured, or the TCP retry failed), so analysis can
 	// distinguish full answers from partial ones.
 	Truncated bool
+	// FailedOver reports that Server is not the first server given: the
+	// primary failed and a fallback answered (or was the last one tried).
+	FailedOver bool
+	// Wait is the total backoff delay inserted between attempts.
+	Wait time.Duration
+	// Total is the full cost of the lookup: every attempt's elapsed time
+	// (failed attempts and timeouts included, across all servers tried)
+	// plus Wait. On a clean first-attempt success Total equals RTT.
+	Total time.Duration
 }
 
 // IPs returns the answer-section addresses.
@@ -87,68 +112,154 @@ func (r *Result) IPs() []netip.Addr {
 }
 
 // Query resolves (name, type) against server. It retries on transport
-// errors, validates the response ID and QR bit, and returns the parsed
-// message along with the RTT of the successful attempt.
+// errors with exponential backoff, validates the response ID and QR bit,
+// and returns the parsed message along with the RTT of the successful
+// attempt.
 func (c *Client) Query(server netip.Addr, name dnswire.Name, t dnswire.Type) (*Result, error) {
+	return c.QueryFailover(name, t, server)
+}
+
+// backoffDelay computes the (possibly jittered) wait before the next
+// attempt, given how many attempts have already been made.
+func (c *Client) backoffDelay(made int) time.Duration {
+	if c.Backoff <= 0 || made < 1 {
+		return 0
+	}
+	shift := made - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := c.Backoff << shift
+	if c.BackoffMax > 0 && d > c.BackoffMax {
+		d = c.BackoffMax
+	}
+	if c.Jitter != nil {
+		half := d / 2
+		d = half + time.Duration(c.Jitter()*float64(half))
+	}
+	return d
+}
+
+// failsOver reports whether the response warrants trying the next server:
+// the server answered but declared itself unable or unwilling to serve.
+func failsOver(rc dnswire.RCode) bool {
+	return rc == dnswire.RCodeServFail || rc == dnswire.RCodeRefused
+}
+
+// QueryFailover resolves (name, type) against servers in order: each
+// server gets up to Retries attempts (with exponential backoff between
+// consecutive attempts); a server that keeps failing at the transport
+// level or that answers SERVFAIL/REFUSED hands the query to the next one,
+// modelling a stub resolver walking its configured server list. NXDOMAIN
+// and other data answers never fail over — they are authoritative data,
+// not server failure.
+//
+// The returned Result is non-nil whenever at least one exchange ran, even
+// on total failure (Msg nil, err non-nil): Attempts, Wait, Total and
+// FailedOver still describe the work done, so callers can record the cost
+// of failures.
+func (c *Client) QueryFailover(name dnswire.Name, t dnswire.Type, servers ...netip.Addr) (*Result, error) {
 	if c.transport == nil {
 		return nil, ErrNoTransport
+	}
+	if len(servers) == 0 {
+		return nil, ErrNoServers
 	}
 	retries := c.Retries
 	if retries < 1 {
 		retries = 1
 	}
-	var lastErr error
-	for attempt := 1; attempt <= retries; attempt++ {
-		q := dnswire.NewQuery(c.nextID(), name, t)
-		payload, err := q.Pack()
-		if err != nil {
-			return nil, fmt.Errorf("dnsclient: pack: %w", err)
-		}
-		raw, rtt, err := c.transport.Exchange(server, payload)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		msg, err := dnswire.Parse(raw)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if msg.Header.ID != q.Header.ID {
-			lastErr = ErrIDMismatch
-			continue
-		}
-		if !msg.Header.Response {
-			lastErr = ErrNotResponse
-			continue
-		}
-		if msg.Header.Truncated && c.tcp != nil {
-			tcpRaw, tcpRTT, err := c.tcp.Exchange(server, payload)
-			// The TCP retry is a real exchange on the wire whether or not
-			// it succeeds, so it counts toward Attempts either way.
-			attempts := attempt + 1
-			if err == nil {
-				if full, perr := dnswire.Parse(tcpRaw); perr == nil &&
-					full.Header.ID == q.Header.ID && full.Header.Response {
-					return &Result{
-						Msg: full, RTT: rtt + tcpRTT, Attempts: attempts, Server: server,
-						UsedTCP: true, Truncated: full.Header.Truncated,
-					}, nil
+	var (
+		lastErr    error
+		lastResp   *Result // SERVFAIL/REFUSED answer held while failing over
+		attempts   int
+		cost, wait time.Duration
+	)
+	finish := func(res *Result) *Result {
+		res.Attempts = attempts
+		res.Wait = wait
+		res.Total = cost + wait
+		return res
+	}
+	for si, server := range servers {
+		for attempt := 1; attempt <= retries; attempt++ {
+			if attempts > 0 {
+				d := c.backoffDelay(attempts)
+				wait += d
+				if c.Sleep != nil && d > 0 {
+					c.Sleep(d)
 				}
 			}
-			// TCP retry failed; return the truncated answer, which is
-			// still a valid (if partial) response, and flag it as such.
-			return &Result{
-				Msg: msg, RTT: rtt, Attempts: attempts, Server: server,
-				Truncated: true,
-			}, nil
+			attempts++
+			q := dnswire.NewQuery(c.nextID(), name, t)
+			payload, err := q.Pack()
+			if err != nil {
+				return nil, fmt.Errorf("dnsclient: pack: %w", err)
+			}
+			raw, rtt, err := c.transport.Exchange(server, payload)
+			cost += rtt
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			msg, err := dnswire.Parse(raw)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if msg.Header.ID != q.Header.ID {
+				lastErr = ErrIDMismatch
+				continue
+			}
+			if !msg.Header.Response {
+				lastErr = ErrNotResponse
+				continue
+			}
+			if msg.Header.Truncated && c.tcp != nil {
+				tcpRaw, tcpRTT, err := c.tcp.Exchange(server, payload)
+				// The TCP retry is a real exchange on the wire whether or
+				// not it succeeds, so it counts toward Attempts either way.
+				attempts++
+				cost += tcpRTT
+				if err == nil {
+					if full, perr := dnswire.Parse(tcpRaw); perr == nil &&
+						full.Header.ID == q.Header.ID && full.Header.Response {
+						return finish(&Result{
+							Msg: full, RTT: rtt + tcpRTT, Server: server,
+							UsedTCP: true, Truncated: full.Header.Truncated,
+							FailedOver: si > 0,
+						}), nil
+					}
+				}
+				// TCP retry failed; return the truncated answer, which is
+				// still a valid (if partial) response, and flag it as such.
+				return finish(&Result{
+					Msg: msg, RTT: rtt, Server: server,
+					Truncated: true, FailedOver: si > 0,
+				}), nil
+			}
+			res := &Result{
+				Msg: msg, RTT: rtt, Server: server,
+				Truncated: msg.Header.Truncated, FailedOver: si > 0,
+			}
+			if failsOver(msg.Header.RCode) {
+				// The server is up but cannot serve; hold its answer and
+				// move on. The last such answer is what the caller sees if
+				// no server does better.
+				lastResp = res
+				break
+			}
+			return finish(res), nil
 		}
-		return &Result{
-			Msg: msg, RTT: rtt, Attempts: attempt, Server: server,
-			Truncated: msg.Header.Truncated,
-		}, nil
 	}
-	return nil, fmt.Errorf("%w: %w", ErrAllRetriesFailed, lastErr)
+	if lastResp != nil {
+		return finish(lastResp), nil
+	}
+	res := finish(&Result{Server: servers[len(servers)-1], FailedOver: len(servers) > 1})
+	if lastErr == nil {
+		return res, ErrAllRetriesFailed
+	}
+	return res, fmt.Errorf("%w: %w", ErrAllRetriesFailed, lastErr)
 }
 
 // QueryA resolves A records and returns the full result.

@@ -1,0 +1,285 @@
+package dnsclient
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dnswire"
+)
+
+var (
+	primary   = netip.MustParseAddr("10.9.0.1")
+	secondary = netip.MustParseAddr("10.9.0.2")
+)
+
+// serverTransport scripts behaviour per server address and records the
+// order of exchanges.
+type serverTransport struct {
+	byServer map[netip.Addr]func(payload []byte) ([]byte, time.Duration, error)
+	order    []netip.Addr
+}
+
+func (s *serverTransport) Exchange(server netip.Addr, payload []byte) ([]byte, time.Duration, error) {
+	s.order = append(s.order, server)
+	fn, ok := s.byServer[server]
+	if !ok {
+		return nil, 0, fmt.Errorf("no script for %s", server)
+	}
+	return fn(payload)
+}
+
+func rcodeReply(payload []byte, rc dnswire.RCode) []byte {
+	q, err := dnswire.Parse(payload)
+	if err != nil {
+		panic(err)
+	}
+	r := q.Reply()
+	r.Header.RCode = rc
+	b, err := r.Pack()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestBackoffDelayExponentialAndCap(t *testing.T) {
+	c := New(&serverTransport{}, nil)
+	c.Backoff = 100 * time.Millisecond
+	c.BackoffMax = 450 * time.Millisecond
+	for made, want := range map[int]time.Duration{
+		0: 0,
+		1: 100 * time.Millisecond,
+		2: 200 * time.Millisecond,
+		3: 400 * time.Millisecond,
+		4: 450 * time.Millisecond, // capped
+		9: 450 * time.Millisecond,
+	} {
+		if got := c.backoffDelay(made); got != want {
+			t.Errorf("backoffDelay(%d) = %v, want %v", made, got, want)
+		}
+	}
+}
+
+func TestBackoffDelayJitterRange(t *testing.T) {
+	c := New(&serverTransport{}, nil)
+	c.Backoff = 100 * time.Millisecond
+	// Equal jitter: half fixed, half drawn in [0, 1).
+	c.Jitter = func() float64 { return 0 }
+	if got := c.backoffDelay(1); got != 50*time.Millisecond {
+		t.Fatalf("jitter=0 delay = %v, want 50ms", got)
+	}
+	c.Jitter = func() float64 { return 0.999999 }
+	got := c.backoffDelay(1)
+	if got < 99*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("jitter~1 delay = %v, want just under 100ms", got)
+	}
+}
+
+func TestFailoverOnTransportError(t *testing.T) {
+	tr := &serverTransport{byServer: map[netip.Addr]func([]byte) ([]byte, time.Duration, error){
+		primary: func([]byte) ([]byte, time.Duration, error) {
+			return nil, 5 * time.Millisecond, errors.New("lost")
+		},
+		secondary: func(p []byte) ([]byte, time.Duration, error) {
+			return answer(p, "10.1.1.1"), 10 * time.Millisecond, nil
+		},
+	}}
+	c := New(tr, nil)
+	c.Retries = 2
+	res, err := c.QueryFailover("www.example.com", dnswire.TypeA, primary, secondary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Server != secondary || !res.FailedOver {
+		t.Fatalf("Server=%s FailedOver=%v, want secondary/true", res.Server, res.FailedOver)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (2 on primary + 1 on secondary)", res.Attempts)
+	}
+	// Cost accumulates the failed attempts too: 2*5 + 10 = 20ms.
+	if res.Total != 20*time.Millisecond {
+		t.Fatalf("Total = %v, want 20ms", res.Total)
+	}
+	if res.RTT != 10*time.Millisecond {
+		t.Fatalf("RTT = %v, want the successful attempt's 10ms", res.RTT)
+	}
+	want := []netip.Addr{primary, primary, secondary}
+	for i, s := range want {
+		if tr.order[i] != s {
+			t.Fatalf("exchange order = %v, want %v", tr.order, want)
+		}
+	}
+}
+
+func TestFailoverOnServFail(t *testing.T) {
+	tr := &serverTransport{byServer: map[netip.Addr]func([]byte) ([]byte, time.Duration, error){
+		primary: func(p []byte) ([]byte, time.Duration, error) {
+			return rcodeReply(p, dnswire.RCodeServFail), 2 * time.Millisecond, nil
+		},
+		secondary: func(p []byte) ([]byte, time.Duration, error) {
+			return answer(p, "10.1.1.1"), 10 * time.Millisecond, nil
+		},
+	}}
+	c := New(tr, nil)
+	c.Retries = 3
+	res, err := c.QueryFailover("www.example.com", dnswire.TypeA, primary, secondary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Server != secondary || !res.FailedOver {
+		t.Fatalf("Server=%s FailedOver=%v, want failover", res.Server, res.FailedOver)
+	}
+	// SERVFAIL fails over immediately, without burning the remaining
+	// retries on a server that answered.
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (SERVFAIL does not retry in place)", res.Attempts)
+	}
+	if Classify(res, err) != OutcomeOK {
+		t.Fatalf("outcome = %s, want ok", Classify(res, err))
+	}
+}
+
+func TestAllServFailReturnsLastAnswer(t *testing.T) {
+	servfail := func(p []byte) ([]byte, time.Duration, error) {
+		return rcodeReply(p, dnswire.RCodeServFail), time.Millisecond, nil
+	}
+	tr := &serverTransport{byServer: map[netip.Addr]func([]byte) ([]byte, time.Duration, error){
+		primary: servfail, secondary: servfail,
+	}}
+	c := New(tr, nil)
+	res, err := c.QueryFailover("www.example.com", dnswire.TypeA, primary, secondary)
+	if err != nil {
+		t.Fatalf("a SERVFAIL answer is a response, not an error: %v", err)
+	}
+	if Classify(res, err) != OutcomeServFail {
+		t.Fatalf("outcome = %s, want servfail", Classify(res, err))
+	}
+	if !res.FailedOver {
+		t.Fatal("both servers were tried; FailedOver must be set")
+	}
+}
+
+func TestNXDomainDoesNotFailOver(t *testing.T) {
+	tr := &serverTransport{byServer: map[netip.Addr]func([]byte) ([]byte, time.Duration, error){
+		primary: func(p []byte) ([]byte, time.Duration, error) {
+			return rcodeReply(p, dnswire.RCodeNXDomain), time.Millisecond, nil
+		},
+	}}
+	c := New(tr, nil)
+	res, err := c.QueryFailover("gone.example.com", dnswire.TypeA, primary, secondary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedOver || res.Server != primary || res.Attempts != 1 {
+		t.Fatalf("NXDOMAIN must not fail over: %+v", res)
+	}
+	if Classify(res, err) != OutcomeNXDomain {
+		t.Fatalf("outcome = %s, want nxdomain", Classify(res, err))
+	}
+	if len(tr.order) != 1 {
+		t.Fatalf("exchanges = %v, want primary only", tr.order)
+	}
+}
+
+// timeoutErr mimics a vnet/net.Error timeout.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string { return "i/o timeout" }
+func (timeoutErr) Timeout() bool { return true }
+
+// refusedErr mimics a refused connection.
+type refusedErr struct{}
+
+func (refusedErr) Error() string { return "connection refused" }
+func (refusedErr) Refused() bool { return true }
+
+func TestTotalFailureResultStillDescribesCost(t *testing.T) {
+	tr := &serverTransport{byServer: map[netip.Addr]func([]byte) ([]byte, time.Duration, error){
+		primary: func([]byte) ([]byte, time.Duration, error) {
+			return nil, 100 * time.Millisecond, timeoutErr{}
+		},
+		secondary: func([]byte) ([]byte, time.Duration, error) {
+			return nil, 100 * time.Millisecond, timeoutErr{}
+		},
+	}}
+	c := New(tr, nil)
+	c.Retries = 2
+	c.Backoff = 10 * time.Millisecond
+	res, err := c.QueryFailover("www.example.com", dnswire.TypeA, primary, secondary)
+	if !errors.Is(err, ErrAllRetriesFailed) {
+		t.Fatalf("err = %v, want ErrAllRetriesFailed", err)
+	}
+	if res == nil {
+		t.Fatal("total failure must still return a Result describing the cost")
+	}
+	if res.Attempts != 4 || !res.FailedOver {
+		t.Fatalf("Attempts=%d FailedOver=%v, want 4/true", res.Attempts, res.FailedOver)
+	}
+	// 4 timed-out attempts at 100ms + backoffs 10+20+40 between them.
+	if wantWait := 70 * time.Millisecond; res.Wait != wantWait {
+		t.Fatalf("Wait = %v, want %v", res.Wait, wantWait)
+	}
+	if want := 470 * time.Millisecond; res.Total != want {
+		t.Fatalf("Total = %v, want %v", res.Total, want)
+	}
+	if Classify(res, err) != OutcomeTimeout {
+		t.Fatalf("outcome = %s, want timeout (marker survives wrapping)", Classify(res, err))
+	}
+}
+
+func TestClassifyOutcomes(t *testing.T) {
+	okRes := func(rc dnswire.RCode) *Result {
+		return &Result{Msg: &dnswire.Message{Header: dnswire.Header{RCode: rc}}}
+	}
+	cases := []struct {
+		res  *Result
+		err  error
+		want Outcome
+	}{
+		{okRes(dnswire.RCodeSuccess), nil, OutcomeOK},
+		{okRes(dnswire.RCodeNXDomain), nil, OutcomeNXDomain},
+		{okRes(dnswire.RCodeServFail), nil, OutcomeServFail},
+		{okRes(dnswire.RCodeRefused), nil, OutcomeRefused},
+		{nil, fmt.Errorf("%w: %w", ErrAllRetriesFailed, timeoutErr{}), OutcomeTimeout},
+		{nil, fmt.Errorf("%w: %w", ErrAllRetriesFailed, refusedErr{}), OutcomeRefused},
+		{nil, errors.New("parse failure"), OutcomeError},
+		{nil, nil, OutcomeError},
+		{&Result{}, nil, OutcomeError},
+	}
+	for i, tc := range cases {
+		if got := Classify(tc.res, tc.err); got != tc.want {
+			t.Errorf("case %d: Classify = %s, want %s", i, got, tc.want)
+		}
+	}
+}
+
+func TestSingleServerKeepsOldQueryBehaviour(t *testing.T) {
+	// Query (the single-server path) still returns a SERVFAIL response
+	// with nil error, as it always has.
+	tr := &serverTransport{byServer: map[netip.Addr]func([]byte) ([]byte, time.Duration, error){
+		primary: func(p []byte) ([]byte, time.Duration, error) {
+			return rcodeReply(p, dnswire.RCodeServFail), time.Millisecond, nil
+		},
+	}}
+	c := New(tr, nil)
+	res, err := c.Query(primary, "www.example.com", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Msg.Header.RCode != dnswire.RCodeServFail || res.FailedOver {
+		t.Fatalf("result %+v", res)
+	}
+	if len(tr.order) != 1 {
+		t.Fatalf("single-server SERVFAIL must not retry: %v", tr.order)
+	}
+}
+
+func TestNoServers(t *testing.T) {
+	c := New(&serverTransport{}, nil)
+	if _, err := c.QueryFailover("x.example", dnswire.TypeA); !errors.Is(err, ErrNoServers) {
+		t.Fatalf("err = %v, want ErrNoServers", err)
+	}
+}

@@ -1,0 +1,302 @@
+package fault
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TargetClass names a symbolic endpoint group. Classes are resolved to
+// concrete addresses against the assembled world when the scenario is
+// compiled, so the same scenario text works at any population scale.
+type TargetClass string
+
+// Target classes understood by sim.World.FaultTargets.
+const (
+	// TargetLocal is every carrier client-facing resolver.
+	TargetLocal TargetClass = "local"
+	// TargetExternal is every carrier external (egress) resolver.
+	TargetExternal TargetClass = "external"
+	// TargetGoogle and TargetOpenDNS are the public-DNS service VIPs.
+	TargetGoogle  TargetClass = "google"
+	TargetOpenDNS TargetClass = "opendns"
+	// TargetAuthority is the CDN authoritative servers plus the whoami
+	// authority.
+	TargetAuthority TargetClass = "authority"
+	// TargetWhoami is the whoami authority alone.
+	TargetWhoami TargetClass = "whoami"
+)
+
+// AddressBook resolves a target class to the concrete endpoint addresses
+// it covers; ok is false for unknown classes.
+type AddressBook func(class TargetClass) (addrs []netip.Addr, ok bool)
+
+// winBound is one window boundary: either a fraction of the campaign
+// window ("25%") or an absolute offset from its start ("36h").
+type winBound struct {
+	set    bool
+	isFrac bool
+	frac   float64
+	off    time.Duration
+}
+
+func (b winBound) at(start, end time.Time) time.Time {
+	if b.isFrac {
+		return start.Add(time.Duration(b.frac * float64(end.Sub(start))))
+	}
+	return start.Add(b.off)
+}
+
+// Clause is one parsed scenario clause; its target is still symbolic and
+// its window still relative until Compile pins both.
+type Clause struct {
+	Injection
+	Target          TargetClass
+	start, dur, end winBound
+}
+
+// Presets maps scenario names accepted by -faults to their DSL text.
+var Presets = map[string]string{
+	// The local resolvers' DNS process answers SERVFAIL through the
+	// middle half of the campaign.
+	"resolver-outage": "outage:target=local,port=53,mode=servfail,start=25%,dur=50%",
+	// Same window, but queries vanish instead — the client burns its
+	// timeout and retries.
+	"resolver-blackhole": "outage:target=local,port=53,mode=drop,start=25%,dur=50%",
+	// The radio access network degrades: latency triples and an extra 2%
+	// of packets die per crossing for the middle third.
+	"radio-degraded": "latency:segment=radio,mult=3,start=33%,dur=34%;loss:segment=radio,p=0.02,start=33%,dur=34%",
+	// Local resolvers flap hard: 10-minute cycles, down 30% of each.
+	"resolver-flap": "flap:target=local,port=53,period=10m,duty=0.3,start=10%,dur=80%",
+	// The public-DNS services shed load, erroring one request in five.
+	"public-dns-storm": "storm:target=google,port=53,p=0.2;storm:target=opendns,port=53,p=0.2",
+	// The CDN authorities go dark for the middle half: recursion breaks
+	// while the resolver frontends stay healthy.
+	"authority-outage": "outage:target=authority,port=53,mode=drop,start=25%,dur=50%",
+}
+
+// PresetNames returns the preset scenario names, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(Presets))
+	for name := range Presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse reads the scenario DSL: semicolon-separated clauses of the form
+//
+//	kind:key=value,key=value,...
+//
+// Kinds and their keys:
+//
+//	outage:  target|addr, port, mode (drop|servfail), window
+//	latency: segment, mult and/or extra, window
+//	loss:    segment, p, window
+//	flap:    target|addr, port, period, duty, window
+//	storm:   target|addr, port, p, window
+//
+// The window keys are start, dur and end; each value is a Go duration
+// ("36h") measured from campaign start or a percentage of the campaign
+// window ("25%"). Defaults: start=0%, end=100%, port=53, mode=drop.
+// addr takes a literal IP for ad-hoc scenarios; target takes a symbolic
+// class (local, external, google, opendns, authority, whoami). port=any
+// covers every service and ICMP.
+func Parse(spec string) ([]Clause, error) {
+	var clauses []Clause
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault: clause %q: want kind:key=value,...", part)
+		}
+		cl := Clause{Injection: Injection{Kind: Kind(strings.TrimSpace(kindStr)), Port: 53, Mode: ModeDrop}}
+		switch cl.Kind {
+		case KindOutage, KindLatency, KindLoss, KindFlap, KindStorm:
+		default:
+			return nil, fmt.Errorf("fault: unknown kind %q", kindStr)
+		}
+		if err := parseKeys(&cl, rest); err != nil {
+			return nil, fmt.Errorf("fault: clause %q: %w", part, err)
+		}
+		if err := validate(&cl); err != nil {
+			return nil, fmt.Errorf("fault: clause %q: %w", part, err)
+		}
+		clauses = append(clauses, cl)
+	}
+	if len(clauses) == 0 {
+		return nil, fmt.Errorf("fault: empty scenario %q", spec)
+	}
+	return clauses, nil
+}
+
+func parseKeys(cl *Clause, rest string) error {
+	for _, kv := range strings.Split(rest, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("bad key=value %q", kv)
+		}
+		var err error
+		switch k {
+		case "target":
+			cl.Target = TargetClass(v)
+		case "addr":
+			var a netip.Addr
+			if a, err = netip.ParseAddr(v); err == nil {
+				cl.Targets = append(cl.Targets, a)
+			}
+		case "segment":
+			cl.Segment = v
+		case "port":
+			if v == "any" {
+				cl.PortAny = true
+			} else {
+				var p uint64
+				if p, err = strconv.ParseUint(v, 10, 16); err == nil {
+					cl.Port = uint16(p)
+				}
+			}
+		case "mode":
+			switch OutageMode(v) {
+			case ModeDrop, ModeServFail:
+				cl.Mode = OutageMode(v)
+			default:
+				err = fmt.Errorf("unknown mode %q", v)
+			}
+		case "start":
+			cl.start, err = parseBound(v)
+		case "dur":
+			cl.dur, err = parseBound(v)
+		case "end":
+			cl.end, err = parseBound(v)
+		case "mult":
+			cl.Multiplier, err = strconv.ParseFloat(v, 64)
+		case "extra":
+			cl.Extra, err = time.ParseDuration(v)
+		case "p":
+			var p float64
+			if p, err = strconv.ParseFloat(v, 64); err == nil {
+				cl.Loss, cl.Prob = p, p
+			}
+		case "period":
+			cl.Period, err = time.ParseDuration(v)
+		case "duty":
+			cl.Duty, err = strconv.ParseFloat(v, 64)
+		default:
+			return fmt.Errorf("unknown key %q", k)
+		}
+		if err != nil {
+			return fmt.Errorf("key %q: %w", k, err)
+		}
+	}
+	return nil
+}
+
+func parseBound(v string) (winBound, error) {
+	b := winBound{set: true}
+	if frac, ok := strings.CutSuffix(v, "%"); ok {
+		f, err := strconv.ParseFloat(frac, 64)
+		if err != nil || f < 0 || f > 100 {
+			return b, fmt.Errorf("bad percentage %q", v)
+		}
+		b.isFrac, b.frac = true, f/100
+		return b, nil
+	}
+	off, err := time.ParseDuration(v)
+	if err != nil || off < 0 {
+		return b, fmt.Errorf("bad offset %q", v)
+	}
+	b.off = off
+	return b, nil
+}
+
+func validate(cl *Clause) error {
+	endpointScoped := cl.Kind == KindOutage || cl.Kind == KindFlap || cl.Kind == KindStorm
+	if endpointScoped && cl.Target == "" && len(cl.Targets) == 0 {
+		return fmt.Errorf("%s needs target= or addr=", cl.Kind)
+	}
+	if !endpointScoped && cl.Segment == "" {
+		return fmt.Errorf("%s needs segment=", cl.Kind)
+	}
+	switch cl.Kind {
+	case KindLatency:
+		if cl.Multiplier <= 0 && cl.Extra <= 0 {
+			return fmt.Errorf("latency needs mult= and/or extra=")
+		}
+	case KindLoss:
+		if cl.Loss <= 0 || cl.Loss > 1 {
+			return fmt.Errorf("loss needs p= in (0, 1]")
+		}
+	case KindFlap:
+		if cl.Period <= 0 || cl.Duty <= 0 || cl.Duty > 1 {
+			return fmt.Errorf("flap needs period= > 0 and duty= in (0, 1]")
+		}
+	case KindStorm:
+		if cl.Prob <= 0 || cl.Prob > 1 {
+			return fmt.Errorf("storm needs p= in (0, 1]")
+		}
+	}
+	if cl.dur.set && cl.end.set {
+		return fmt.Errorf("give dur= or end=, not both")
+	}
+	return nil
+}
+
+// Compile turns a scenario — a preset name or DSL text — into a Schedule
+// bound to concrete addresses (via book) with windows pinned inside the
+// campaign's [start, end).
+func Compile(spec string, book AddressBook, start, end time.Time) (*Schedule, error) {
+	if preset, ok := Presets[strings.TrimSpace(spec)]; ok {
+		spec = preset
+	}
+	clauses, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	injections := make([]Injection, 0, len(clauses))
+	for _, cl := range clauses {
+		inj := cl.Injection
+		if cl.Target != "" {
+			addrs, ok := book(cl.Target)
+			if !ok {
+				return nil, fmt.Errorf("fault: unknown target class %q", cl.Target)
+			}
+			if len(addrs) == 0 {
+				return nil, fmt.Errorf("fault: target class %q resolves to no addresses", cl.Target)
+			}
+			inj.Targets = append(inj.Targets, addrs...)
+		}
+		inj.Start = start
+		if cl.start.set {
+			inj.Start = cl.start.at(start, end)
+		}
+		switch {
+		case cl.dur.set:
+			if cl.dur.isFrac {
+				inj.End = inj.Start.Add(time.Duration(cl.dur.frac * float64(end.Sub(start))))
+			} else {
+				inj.End = inj.Start.Add(cl.dur.off)
+			}
+		case cl.end.set:
+			inj.End = cl.end.at(start, end)
+		default:
+			inj.End = end
+		}
+		if !inj.End.After(inj.Start) {
+			return nil, fmt.Errorf("fault: empty window [%s, %s)", inj.Start, inj.End)
+		}
+		injections = append(injections, inj)
+	}
+	return NewSchedule(injections), nil
+}

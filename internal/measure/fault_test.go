@@ -1,0 +1,77 @@
+package measure
+
+import (
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/fault"
+	"cellcurtain/internal/geo"
+	"cellcurtain/internal/sim"
+)
+
+// With only the client's primary resolver dark, the resilient stub walks
+// to the carrier's secondary: local resolutions still succeed, flagged as
+// failed-over, and the experiment completes in full.
+func TestPrimaryOutageFailsOverToSecondary(t *testing.T) {
+	w, err := sim.New(sim.Config{Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, _ := w.Carrier("att")
+	city, _ := geo.CityByName("chicago")
+	c := cn.NewClient("failover-dev", city.Loc)
+	primary := c.ConfiguredResolver()
+	secondary := c.SecondaryResolver()
+	if primary == secondary {
+		t.Skip("carrier has a single client-facing resolver; no failover path")
+	}
+
+	when := time.Date(2014, 4, 3, 0, 0, 0, 0, time.UTC)
+	sched, err := fault.Compile("outage:addr="+primary.String()+",port=53,mode=drop",
+		nil, when.Add(-time.Hour), when.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Fabric.SetInjector(sched)
+
+	exp := NewRunner(w).Run(c, when)
+
+	var localOK, localFailedOver, localTotal int
+	for _, r := range exp.Resolutions {
+		if r.Kind != dataset.KindLocal {
+			continue
+		}
+		localTotal++
+		if r.OK {
+			localOK++
+		}
+		if r.FailedOver {
+			localFailedOver++
+		}
+		if r.Outcome == "" {
+			t.Fatal("resolution without outcome")
+		}
+		if r.OK && !r.FailedOver {
+			t.Fatalf("local success without failover while the primary is dark: %+v", r)
+		}
+		if r.OK && r.Cost <= r.RTT1 {
+			t.Fatalf("failed-over lookup cost %v must exceed the final RTT %v (burned timeouts)", r.Cost, r.RTT1)
+		}
+	}
+	if localTotal == 0 {
+		t.Fatal("no local resolutions")
+	}
+	if localOK < localTotal-1 {
+		t.Fatalf("failover saved only %d/%d local lookups", localOK, localTotal)
+	}
+	if localFailedOver == 0 {
+		t.Fatal("no lookup recorded failover")
+	}
+	// Public DNS is untouched.
+	for _, r := range exp.Resolutions {
+		if r.Kind == dataset.KindGoogle && !r.OK {
+			t.Fatalf("google lookup failed during a local-only outage: %+v", r)
+		}
+	}
+}

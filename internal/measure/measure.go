@@ -21,6 +21,7 @@ import (
 
 	"cellcurtain/internal/carrier"
 	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/dnsclient"
 	"cellcurtain/internal/dnswire"
 	"cellcurtain/internal/probe"
 	"cellcurtain/internal/sim"
@@ -47,6 +48,18 @@ func NewRunner(w *sim.World) *Runner {
 type resolverTarget struct {
 	kind dataset.ResolverKind
 	addr netip.Addr
+	// alt is the device's fallback for this resolver, when one exists:
+	// the secondary of the carrier's LDNS pair. The public services
+	// expose a single VIP, so they have no alternative.
+	alt netip.Addr
+}
+
+// servers returns the failover order for the target.
+func (t resolverTarget) servers() []netip.Addr {
+	if t.alt.IsValid() && t.alt != t.addr {
+		return []netip.Addr{t.addr, t.alt}
+	}
+	return []netip.Addr{t.addr}
 }
 
 // Run executes one experiment for client c at virtual time now and
@@ -85,9 +98,9 @@ func (r *Runner) RunAt(c *carrier.Client, now time.Time, seq int, stream *stats.
 	}
 
 	targets := []resolverTarget{
-		{dataset.KindLocal, c.ConfiguredResolver()},
-		{dataset.KindGoogle, w.Google.VIP},
-		{dataset.KindOpenDNS, w.OpenDNS.VIP},
+		{kind: dataset.KindLocal, addr: c.ConfiguredResolver(), alt: c.SecondaryResolver()},
+		{kind: dataset.KindGoogle, addr: w.Google.VIP},
+		{kind: dataset.KindOpenDNS, addr: w.OpenDNS.VIP},
 	}
 
 	// 1. Bootstrap ping: wake the radio, absorb state-promotion delay.
@@ -102,7 +115,13 @@ func (r *Runner) RunAt(c *carrier.Client, now time.Time, seq int, stream *stats.
 				Domain: string(domain), Kind: tgt.kind, Server: tgt.addr,
 				Radio: string(c.Tech),
 			}
-			first, err1 := dc.QueryA(tgt.addr, domain)
+			first, err1 := dc.QueryFailover(domain, dnswire.TypeA, tgt.servers()...)
+			res.Outcome = string(dnsclient.Classify(first, err1))
+			if first != nil {
+				res.Attempts = first.Attempts
+				res.FailedOver = first.FailedOver
+				res.Cost = first.Total
+			}
 			if err1 == nil && first.Msg.Header.RCode == dnswire.RCodeSuccess {
 				res.OK = true
 				res.RTT1 = first.RTT
@@ -114,8 +133,11 @@ func (r *Runner) RunAt(c *carrier.Client, now time.Time, seq int, stream *stats.
 				// The second lookup only counts when it actually succeeds;
 				// otherwise RTT2 stays zero AND OK2 stays false, so a failed
 				// repeat is distinguishable from a very fast cached answer.
-				if second, err2 := dc.QueryA(tgt.addr, domain); err2 == nil &&
-					second.Msg.Header.RCode == dnswire.RCodeSuccess {
+				// It is sent to the server that answered the first lookup,
+				// keeping the cache-hit pairing honest across failover.
+				second, err2 := dc.QueryA(first.Server, domain)
+				res.Outcome2 = string(dnsclient.Classify(second, err2))
+				if err2 == nil && second.Msg.Header.RCode == dnswire.RCodeSuccess {
 					res.OK2 = true
 					res.RTT2 = second.RTT
 				}
@@ -136,7 +158,12 @@ func (r *Runner) RunAt(c *carrier.Client, now time.Time, seq int, stream *stats.
 			exp.ReplicaProbes = append(exp.ReplicaProbes, rp)
 
 			if exp.EgressTrace == nil && !seen[ip] && r.TracerouteEvery > 0 && seq%r.TracerouteEvery == 0 {
-				exp.EgressTrace = probe.RespondingHops(probe.Traceroute(f, c.Addr, ip))
+				hops, terr := probe.Traceroute(f, c.Addr, ip)
+				if terr != nil {
+					exp.TraceFailed = true
+				} else {
+					exp.EgressTrace = probe.RespondingHops(hops)
+				}
 			}
 			seen[ip] = true
 		}
@@ -145,7 +172,12 @@ func (r *Runner) RunAt(c *carrier.Client, now time.Time, seq int, stream *stats.
 	// 4. Resolver discovery via whoami, one fresh nonce per resolver.
 	for _, tgt := range targets {
 		d := dataset.Discovery{Kind: tgt.kind, Queried: tgt.addr}
-		if res, err := dc.QueryA(tgt.addr, w.NextWhoamiName()); err == nil {
+		// Discovery stays single-server on purpose: a failover answer
+		// would report the secondary's external identity under the
+		// primary's name and corrupt the pairing analysis.
+		res, err := dc.QueryA(tgt.addr, w.NextWhoamiName())
+		d.Outcome = string(dnsclient.Classify(res, err))
+		if err == nil {
 			if ips := res.IPs(); len(ips) == 1 {
 				d.External, d.OK = ips[0], true
 			}

@@ -25,9 +25,22 @@ func (t *VNetTransport) Exchange(server netip.Addr, payload []byte) ([]byte, tim
 	return t.Fabric.RoundTrip(t.Src, server, 53, payload)
 }
 
-// NewResolverClient builds a DNS client sourced at src on the fabric.
+// jitterStreamLabel derives the backoff-jitter stream from the fabric
+// generator, keeping retry timing a pure function of the experiment
+// stream.
+const jitterStreamLabel = 0xBACC
+
+// NewResolverClient builds a DNS client sourced at src on the fabric,
+// configured like a resilient stub resolver: three attempts per server
+// with exponential backoff and deterministic jitter. Backoff is virtual
+// time — accounted in Result.Wait, never slept.
 func NewResolverClient(f *vnet.Fabric, src netip.Addr) *dnsclient.Client {
-	return dnsclient.New(&VNetTransport{Fabric: f, Src: src}, nil)
+	c := dnsclient.New(&VNetTransport{Fabric: f, Src: src}, nil)
+	c.Retries = 3
+	c.Backoff = 800 * time.Millisecond
+	c.BackoffMax = 3200 * time.Millisecond
+	c.Jitter = f.RNG().Derive(jitterStreamLabel).Float64
+	return c
 }
 
 // PingResult is one ping outcome.
@@ -43,13 +56,11 @@ func Ping(f *vnet.Fabric, src, dst netip.Addr) PingResult {
 	return PingResult{Target: dst, RTT: rtt, OK: err == nil}
 }
 
-// Traceroute walks the path and returns the hops.
-func Traceroute(f *vnet.Fabric, src, dst netip.Addr) []vnet.Hop {
-	hops, err := f.Traceroute(src, dst)
-	if err != nil {
-		return nil
-	}
-	return hops
+// Traceroute walks the path and returns the hops. A failure (no route to
+// the destination) comes back as an error, so callers can tell
+// "traceroute failed" from "no hop responded" and record it.
+func Traceroute(f *vnet.Fabric, src, dst netip.Addr) ([]vnet.Hop, error) {
+	return f.Traceroute(src, dst)
 }
 
 // RespondingHops filters a traceroute to the hops that answered.

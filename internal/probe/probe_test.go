@@ -58,7 +58,10 @@ func TestPing(t *testing.T) {
 
 func TestTracerouteHelpers(t *testing.T) {
 	f := testFabric()
-	hops := Traceroute(f, src, dst)
+	hops, err := Traceroute(f, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(hops) != 3 {
 		t.Fatalf("hops = %+v", hops)
 	}
@@ -70,8 +73,8 @@ func TestTracerouteHelpers(t *testing.T) {
 	bad := vnet.New(stats.NewRNG(2), vnet.RouterFunc(func(s, d netip.Addr) (vnet.Route, error) {
 		return vnet.Route{}, vnet.ErrNoRoute
 	}))
-	if Traceroute(bad, src, dst) != nil {
-		t.Fatal("unroutable traceroute should be nil")
+	if _, err := Traceroute(bad, src, dst); err == nil {
+		t.Fatal("unroutable traceroute must return the error")
 	}
 }
 

@@ -198,6 +198,8 @@ func (c *Context) RunByID(id string) (Result, error) {
 		return c.ABLConsistency(), nil
 	case "ABL-GRANULARITY":
 		return c.ABLGranularity(), nil
+	case "AVAIL":
+		return c.Availability(), nil
 	default:
 		return Result{}, fmt.Errorf("repro: unknown experiment id %q", id)
 	}

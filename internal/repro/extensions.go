@@ -18,10 +18,10 @@ import (
 )
 
 // ExtensionIDs lists the beyond-the-paper experiments: the §7 what-if
-// (EDNS client-subnet localization) and two ablations of the design
-// choices DESIGN.md calls out.
+// (EDNS client-subnet localization), the ablations of the design choices
+// DESIGN.md calls out, and the fault-campaign availability report.
 func ExtensionIDs() []string {
-	return []string{"ECS", "ABL-TTL", "ABL-CONSISTENCY", "ABL-GRANULARITY"}
+	return []string{"ECS", "ABL-TTL", "ABL-CONSISTENCY", "ABL-GRANULARITY", "AVAIL"}
 }
 
 // ECS runs the §7 what-if experiment: if cellular LDNS forwarded EDNS

@@ -88,10 +88,10 @@ func TestABLConsistency(t *testing.T) {
 
 func TestExtensionDispatch(t *testing.T) {
 	c := sharedContext(t)
-	if len(ExtensionIDs()) != 4 {
+	if len(ExtensionIDs()) != 5 {
 		t.Fatalf("extensions = %v", ExtensionIDs())
 	}
-	for _, id := range []string{"ECS", "ABL-TTL"} {
+	for _, id := range []string{"ECS", "ABL-TTL", "AVAIL"} {
 		r, err := c.RunByID(id)
 		if err != nil || r.ID != id {
 			t.Fatalf("dispatch %s: %v", id, err)

@@ -75,8 +75,8 @@ func (c *Context) Table4() Result {
 			if p := probe.Ping(f, c.World.UniversityAddr, e.Addr); p.OK {
 				pingOK++
 			}
-			hops := probe.Traceroute(f, c.World.UniversityAddr, e.Addr)
-			if n := len(hops); n > 0 && hops[n-1].Responded() && hops[n-1].Addr == e.Addr {
+			hops, err := probe.Traceroute(f, c.World.UniversityAddr, e.Addr)
+			if n := len(hops); err == nil && n > 0 && hops[n-1].Responded() && hops[n-1].Addr == e.Addr {
 				traceOK++
 			}
 		}

@@ -145,6 +145,42 @@ func (w *World) Carrier(name string) (*carrier.Network, bool) {
 	return cn, ok
 }
 
+// FaultTargets resolves a symbolic fault-injection target class to the
+// endpoint addresses it covers in this world (the fault.AddressBook
+// shape). Classes: "local" (carrier client-facing resolvers), "external"
+// (carrier egress resolvers), "google"/"opendns" (the public VIPs),
+// "authority" (CDN ADNS plus whoami) and "whoami". Unknown classes return
+// ok == false.
+func (w *World) FaultTargets(class string) ([]netip.Addr, bool) {
+	var out []netip.Addr
+	switch class {
+	case "local":
+		for _, cn := range w.Carriers {
+			out = append(out, cn.ClientFacing...)
+		}
+	case "external":
+		for _, cn := range w.Carriers {
+			for _, e := range cn.Externals {
+				out = append(out, e.Addr)
+			}
+		}
+	case "google":
+		out = append(out, w.Google.VIP)
+	case "opendns":
+		out = append(out, w.OpenDNS.VIP)
+	case "authority":
+		for _, p := range w.CDN.Providers {
+			out = append(out, p.ADNSAddr)
+		}
+		out = append(out, w.WhoamiAddr)
+	case "whoami":
+		out = append(out, w.WhoamiAddr)
+	default:
+		return nil, false
+	}
+	return out, true
+}
+
 // NextWhoamiName returns a fresh cache-busting whoami query name.
 func (w *World) NextWhoamiName() dnswire.Name {
 	w.whoamiSeq++

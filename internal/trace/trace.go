@@ -6,17 +6,26 @@ package trace
 
 import (
 	"fmt"
+	"net/netip"
 	"sync"
 	"time"
 
 	"cellcurtain/internal/carrier"
 	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/fault"
 	"cellcurtain/internal/geo"
 	"cellcurtain/internal/measure"
 	"cellcurtain/internal/radio"
 	"cellcurtain/internal/sim"
 	"cellcurtain/internal/stats"
 )
+
+// worldBook adapts a world's FaultTargets to the fault.AddressBook shape.
+func worldBook(w *sim.World) fault.AddressBook {
+	return func(class fault.TargetClass) ([]netip.Addr, bool) {
+		return w.FaultTargets(string(class))
+	}
+}
 
 // Config parameterizes a campaign.
 type Config struct {
@@ -50,6 +59,11 @@ type Config struct {
 	// fabric state. Required when Workers > 1, and must be deterministic
 	// (same seed/config as the campaign's primary world).
 	WorldFactory func() (*sim.World, error)
+	// Faults, when non-empty, is a fault scenario — a preset name or
+	// internal/fault DSL text — compiled against each shard's world and
+	// installed on its fabric. Injections draw from the per-experiment
+	// stream, so a fault campaign stays worker-count invariant.
+	Faults string
 }
 
 // DefaultConfig returns the paper-shaped campaign configuration.
@@ -138,6 +152,15 @@ func NewCampaign(w *sim.World, cfg Config) (*Campaign, error) {
 			c.homes[id] = city
 			c.Clients = append(c.Clients, client)
 		}
+	}
+	if cfg.Faults != "" {
+		// Each shard gets its own Schedule instance: the schedule holds a
+		// per-experiment stream, which must not be shared across workers.
+		sched, err := fault.Compile(cfg.Faults, worldBook(w), cfg.Start, cfg.End)
+		if err != nil {
+			return nil, fmt.Errorf("trace: fault scenario: %w", err)
+		}
+		w.Fabric.SetInjector(sched)
 	}
 	if cfg.Workers > 1 {
 		if cfg.WorldFactory == nil {

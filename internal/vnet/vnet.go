@@ -25,10 +25,29 @@ import (
 // Errors returned by fabric operations.
 var (
 	ErrNoRoute     = errors.New("vnet: no route to host")
-	ErrTimeout     = errors.New("vnet: timed out")
-	ErrRefused     = errors.New("vnet: connection refused")
+	ErrTimeout     error = &timeoutError{}
+	ErrRefused     error = &refusedError{}
 	ErrUnknownAddr = errors.New("vnet: unknown address")
+	// ErrInjected marks a failure manufactured by the fault injector
+	// (handler error storms); it reaches clients exactly as a handler
+	// error would.
+	ErrInjected = errors.New("vnet: injected fault")
 )
+
+// timeoutError implements the net.Error Timeout convention so
+// transport-agnostic callers (dnsclient) can classify simulated timeouts
+// without importing vnet.
+type timeoutError struct{}
+
+func (*timeoutError) Error() string { return "vnet: timed out" }
+func (*timeoutError) Timeout() bool { return true }
+
+// refusedError exposes a Refused marker the same way, letting clients
+// tell "port closed" from generic transport failure.
+type refusedError struct{}
+
+func (*refusedError) Error() string { return "vnet: connection refused" }
+func (*refusedError) Refused() bool { return true }
 
 // Segment is one hop of a virtual route.
 type Segment struct {
@@ -130,6 +149,40 @@ type HandlerFunc func(req Request) ([]byte, time.Duration, error)
 // Serve implements Handler.
 func (f HandlerFunc) Serve(req Request) ([]byte, time.Duration, error) { return f(req) }
 
+// EndpointAction is what an Injector decides for one request arriving at
+// an endpoint.
+type EndpointAction struct {
+	// Drop makes the request vanish: the caller observes ProbeTimeout and
+	// ErrTimeout, indistinguishable from path loss.
+	Drop bool
+	// Respond, when set, replaces the registered handler for this request
+	// (a resolver whose process is wedged answering SERVFAIL at network
+	// speed). The response still traverses the return path.
+	Respond func(payload []byte) (resp []byte, svc time.Duration, err error)
+}
+
+// Injector is the fabric's fault-injection hook (implemented by
+// fault.Schedule). All methods must be deterministic functions of their
+// arguments and the stream installed by BeginExperiment: the fabric
+// consults the injector at fixed points, so two runs with the same world,
+// schedule and streams observe identical faults.
+type Injector interface {
+	// BeginExperiment hands the injector its per-experiment random stream,
+	// derived from the experiment stream without consuming fabric state.
+	BeginExperiment(stream *stats.RNG)
+	// CrossSegment may adjust the sampled one-way latency of a segment
+	// crossing or drop the packet outright.
+	CrossSegment(label string, now time.Time, sampled time.Duration) (adjusted time.Duration, drop bool)
+	// AtEndpoint is consulted once per request reaching (dst, port); ICMP
+	// echo probes use port 0.
+	AtEndpoint(dst netip.Addr, port uint16, now time.Time) EndpointAction
+}
+
+// faultStreamLabel derives the injector's stream from the experiment
+// stream; Derive does not consume generator state, so enabling faults
+// never perturbs the non-fault draws of an experiment.
+const faultStreamLabel = 0xFA07
+
 // PingPolicy decides whether an endpoint answers ICMP echo from a source.
 type PingPolicy func(src netip.Addr) bool
 
@@ -158,6 +211,9 @@ type Fabric struct {
 	// resetHooks run at each BeginExperiment, clearing per-experiment
 	// state (resolver caches, query-ID counters) in attached services.
 	resetHooks []func()
+	// injector, when set, is consulted on segment crossings and endpoint
+	// arrivals (fault campaigns).
+	injector Injector
 	// ProbeTimeout is the duration reported for lost or blocked probes.
 	ProbeTimeout time.Duration
 	// MaxTTL bounds traceroute exploration.
@@ -198,6 +254,19 @@ func (f *Fabric) OnExperimentReset(hook func()) {
 	f.resetHooks = append(f.resetHooks, hook)
 }
 
+// SetInjector installs (or, with nil, removes) the fault injector. The
+// injector is seeded immediately so faults are live even before the first
+// BeginExperiment (post-campaign probing, direct fabric use in tests).
+func (f *Fabric) SetInjector(inj Injector) {
+	f.injector = inj
+	if inj != nil {
+		inj.BeginExperiment(f.rng.Derive(faultStreamLabel))
+	}
+}
+
+// Injector returns the installed fault injector, if any.
+func (f *Fabric) Injector() Injector { return f.injector }
+
 // BeginExperiment rebases the virtual clock, installs the experiment's
 // dedicated random stream (a nil stream keeps the current generator), and
 // fires the registered reset hooks. After this call every latency sample,
@@ -209,6 +278,9 @@ func (f *Fabric) BeginExperiment(now time.Time, stream *stats.RNG) {
 	f.now = now
 	if stream != nil {
 		f.rng = stream
+	}
+	if f.injector != nil {
+		f.injector.BeginExperiment(f.rng.Derive(faultStreamLabel))
 	}
 	for _, hook := range f.resetHooks {
 		hook()
@@ -255,7 +327,15 @@ func (f *Fabric) routeLatency(r Route) (time.Duration, bool) {
 		if seg.Loss > 0 && f.rng.Bool(seg.Loss) {
 			return total, false
 		}
-		total += seg.Latency.Sample(f.rng)
+		lat := seg.Latency.Sample(f.rng)
+		if f.injector != nil {
+			adj, drop := f.injector.CrossSegment(seg.Label, f.now, lat)
+			if drop {
+				return total, false
+			}
+			lat = adj
+		}
+		total += lat
 		if r.BlockedAfter >= 0 && i == r.BlockedAfter {
 			return total, false
 		}
@@ -265,8 +345,10 @@ func (f *Fabric) routeLatency(r Route) (time.Duration, bool) {
 
 // RoundTrip sends payload from src to (dst, port) and returns the response
 // payload and the measured RTT. The RTT includes forward path, service
-// time and return path. Lost or blocked packets return ErrTimeout with
-// RTT equal to ProbeTimeout, matching what a real prober records.
+// time and return path — also when the handler fails, since an error
+// answer is still a datagram travelling at network speed. Only lost or
+// blocked packets return ErrTimeout with RTT equal to ProbeTimeout,
+// matching what a real prober records.
 func (f *Fabric) RoundTrip(src, dst netip.Addr, port uint16, payload []byte) ([]byte, time.Duration, error) {
 	route, err := f.router.Route(src, dst)
 	if err != nil {
@@ -285,11 +367,22 @@ func (f *Fabric) RoundTrip(src, dst netip.Addr, port uint16, payload []byte) ([]
 		// Real stacks answer with ICMP port-unreachable quickly.
 		return nil, fwd * 2, ErrRefused
 	}
+	serve := h.Serve
+	if f.injector != nil {
+		act := f.injector.AtEndpoint(dst, port, f.now)
+		switch {
+		case act.Drop:
+			return nil, f.ProbeTimeout, ErrTimeout
+		case act.Respond != nil:
+			respond := act.Respond
+			serve = func(Request) ([]byte, time.Duration, error) { return respond(payload) }
+		}
+	}
 	observedSrc := src
 	if route.NATAddr.IsValid() {
 		observedSrc = route.NATAddr
 	}
-	resp, svc, err := h.Serve(Request{
+	resp, svc, err := serve(Request{
 		Fabric:  f,
 		Src:     observedSrc,
 		Dst:     dst,
@@ -298,7 +391,14 @@ func (f *Fabric) RoundTrip(src, dst netip.Addr, port uint16, payload []byte) ([]
 		Time:    f.now.Add(fwd),
 	})
 	if err != nil {
-		return nil, f.ProbeTimeout, err
+		// A handler failure (REFUSED/SERVFAIL-style) still produces a
+		// datagram that crosses the return path at network speed; only
+		// genuine loss costs the prober its full timeout.
+		back, ok := f.routeLatency(route)
+		if !ok {
+			return nil, f.ProbeTimeout, ErrTimeout
+		}
+		return nil, fwd + svc + back, err
 	}
 	back, ok := f.routeLatency(route)
 	if !ok {
@@ -307,13 +407,15 @@ func (f *Fabric) RoundTrip(src, dst netip.Addr, port uint16, payload []byte) ([]
 	return resp, fwd + svc + back, nil
 }
 
-// Ping issues an ICMP echo from src to dst and returns the RTT.
-// Unreachable, blocked, firewalled or policy-filtered targets return
-// ErrTimeout after ProbeTimeout, as a real ping would experience.
+// Ping issues an ICMP echo from src to dst and returns the RTT. Lost,
+// blocked, firewalled or policy-filtered probes return ErrTimeout after
+// ProbeTimeout, as a real ping would experience; a missing route returns
+// ErrNoRoute (with the same ProbeTimeout RTT) so world-configuration bugs
+// stay distinguishable from lossy paths.
 func (f *Fabric) Ping(src, dst netip.Addr) (time.Duration, error) {
 	route, err := f.router.Route(src, dst)
 	if err != nil {
-		return f.ProbeTimeout, ErrTimeout
+		return f.ProbeTimeout, fmt.Errorf("%w: %s -> %s", ErrNoRoute, src, dst)
 	}
 	fwd, ok := f.routeLatency(route)
 	if !ok {
@@ -322,6 +424,13 @@ func (f *Fabric) Ping(src, dst netip.Addr) (time.Duration, error) {
 	ep, found := f.endpoints[dst]
 	if !found || !ep.pingOK(effectiveSrc(src, route)) {
 		return f.ProbeTimeout, ErrTimeout
+	}
+	if f.injector != nil {
+		// ICMP consults the injector as port 0: a whole-host fault (flap,
+		// port-0 outage) silences pings, a DNS-process fault does not.
+		if act := f.injector.AtEndpoint(dst, 0, f.now); act.Drop {
+			return f.ProbeTimeout, ErrTimeout
+		}
 	}
 	back, ok := f.routeLatency(route)
 	if !ok {
@@ -360,11 +469,21 @@ func (f *Fabric) Traceroute(src, dst netip.Addr) ([]Hop, error) {
 	var acc time.Duration
 	for i, seg := range route.Segments {
 		if i >= f.MaxTTL {
-			break
+			// TTL budget exhausted mid-path: the walk ends without ever
+			// eliciting the destination.
+			return hops, nil
 		}
-		acc += seg.Latency.Sample(f.rng)
+		lat := seg.Latency.Sample(f.rng)
+		dropped := false
+		if f.injector != nil {
+			// Latency spikes shift traceroute RTTs; a segment drop loses
+			// the probe, so the hop shows as silent. Endpoint faults do not
+			// apply: traceroute elicits ICMP from routers, not services.
+			lat, dropped = f.injector.CrossSegment(seg.Label, f.now, lat)
+		}
+		acc += lat
 		h := Hop{TTL: i + 1, RTT: 2 * acc}
-		if seg.HopAddr.IsValid() {
+		if seg.HopAddr.IsValid() && !dropped {
 			h.Addr = seg.HopAddr
 		} else {
 			h.RTT = f.ProbeTimeout

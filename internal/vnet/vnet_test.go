@@ -1,6 +1,7 @@
 package vnet
 
 import (
+	"errors"
 	"net/netip"
 	"testing"
 	"testing/quick"
@@ -334,8 +335,12 @@ func TestRouteErrorPropagates(t *testing.T) {
 	if _, _, err := f.RoundTrip(clientAddr, serverAddr, 53, nil); err == nil {
 		t.Fatal("route errors must surface")
 	}
-	if _, err := f.Ping(clientAddr, serverAddr); err != ErrTimeout {
-		t.Fatal("unroutable ping must time out")
+	rtt, err := f.Ping(clientAddr, serverAddr)
+	if !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("unroutable ping error = %v, want ErrNoRoute", err)
+	}
+	if rtt != f.ProbeTimeout {
+		t.Fatalf("unroutable ping RTT = %v, want probe timeout", rtt)
 	}
 	if _, err := f.Traceroute(clientAddr, serverAddr); err != ErrNoRoute {
 		t.Fatal("unroutable traceroute must error")

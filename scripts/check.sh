@@ -27,6 +27,12 @@ go test -race ./...
 echo "==> worker-count invariance (workers 1/4/8 -> identical dataset)"
 go test -race -count=1 -run '^TestWorkerCountInvariance$' ./internal/trace/
 
+echo "==> fault-campaign invariance (resolver-outage, workers 1/4/8)"
+go test -race -count=1 -run '^TestWorkerCountInvarianceWithFaults$' ./internal/trace/
+
+echo "==> fault smoke (AVAIL report under resolver-outage)"
+go run ./cmd/curtain exp -id AVAIL -faults resolver-outage -days 2 -scale 0.05 >/dev/null
+
 echo "==> benchmark smoke (1 iteration of BenchmarkCampaign/workers=1)"
 go test -run '^$' -bench '^BenchmarkCampaign/workers=1$' -benchtime 1x .
 
