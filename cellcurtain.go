@@ -59,6 +59,21 @@ type Options struct {
 	// text. Injections are deterministic in Seed, so fault campaigns are
 	// reproducible and worker-count invariant like fault-free ones.
 	Faults string
+	// CheckpointDir, when non-empty, makes the campaign durable: every
+	// completed experiment is appended to a fsync'd checkpoint under this
+	// directory, so a killed run can be resumed without losing work.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint fsync cadence in experiments
+	// (0 = the default, 64).
+	CheckpointEvery int
+	// Resume continues a checkpointed campaign from CheckpointDir after
+	// verifying its seed and config hash. The resumed dataset is
+	// byte-identical to an uninterrupted run.
+	Resume bool
+	// Interrupt, when non-nil, gracefully stops the campaign once closed:
+	// in-flight experiments drain, the checkpoint is flushed, and
+	// NewStudy returns an error wrapping trace.ErrInterrupted.
+	Interrupt <-chan struct{}
 }
 
 func (o Options) campaignConfig() trace.Config {
@@ -88,6 +103,10 @@ func (o Options) campaignConfig() trace.Config {
 		cfg.Workers = o.Workers
 	}
 	cfg.Faults = o.Faults
+	cfg.CheckpointDir = o.CheckpointDir
+	cfg.CheckpointEvery = o.CheckpointEvery
+	cfg.Resume = o.Resume
+	cfg.Interrupt = o.Interrupt
 	return cfg
 }
 

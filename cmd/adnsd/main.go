@@ -15,6 +15,9 @@ import (
 	"log"
 	"net/netip"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"cellcurtain/internal/adns"
 	"cellcurtain/internal/dnsserver"
@@ -66,13 +69,35 @@ func main() {
 	if !*quiet {
 		tcpSrv.Logf = log.Printf
 	}
+	errCh := make(chan error, 2)
 	go func() {
 		if err := tcpSrv.ListenAndServe(*listen); err != nil {
-			log.Printf("adnsd: tcp: %v", err)
+			errCh <- err
+		}
+	}()
+	go func() {
+		if err := srv.ListenAndServe(*listen); err != nil {
+			errCh <- err
 		}
 	}()
 	log.Printf("adnsd: serving zone %q on %s (udp+tcp)", *zone, *listen)
-	if err := srv.ListenAndServe(*listen); err != nil {
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		// Graceful stop: close the listeners, let in-flight queries finish
+		// writing their responses, then exit. Serve errors after this point
+		// are the expected use-of-closed-connection, not failures.
+		log.Printf("adnsd: %s — draining", s)
+		udpOK := srv.Drain(5 * time.Second)
+		tcpOK := tcpSrv.Drain(5 * time.Second)
+		if !udpOK || !tcpOK {
+			log.Printf("adnsd: drain deadline exceeded (udp=%v tcp=%v)", udpOK, tcpOK)
+			os.Exit(1)
+		}
+		log.Printf("adnsd: drained cleanly")
+	case err := <-errCh:
 		log.Fatalf("adnsd: %v", err)
 	}
 }

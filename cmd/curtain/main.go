@@ -12,11 +12,17 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"cellcurtain"
+	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/trace"
 )
 
 func main() {
@@ -46,6 +52,11 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "curtain:", err)
+		if errors.Is(err, trace.ErrInterrupted) {
+			// A requested stop with a flushed checkpoint exits cleanly.
+			fmt.Fprintln(os.Stderr, "curtain: add -resume to the same command to continue")
+			return
+		}
 		os.Exit(1)
 	}
 }
@@ -71,7 +82,15 @@ flags (report/exp/simulate):
                       resolver-blackhole, radio-degraded, resolver-flap,
                       public-dns-storm, authority-outage) or DSL text like
                       "outage:target=local,start=25%,dur=50%,mode=servfail"
-                      (deterministic in -seed; see internal/fault)`)
+                      (deterministic in -seed; see internal/fault)
+  -checkpoint-dir D   durable campaign checkpoint directory: completed
+                      experiments are fsync'd there as the run progresses,
+                      and SIGINT/SIGTERM drains in-flight experiments and
+                      flushes the checkpoint before exiting
+  -checkpoint-every N checkpoint fsync cadence in experiments (default 64)
+  -resume             continue the campaign checkpointed in -checkpoint-dir
+                      (verified against -seed and the other campaign flags);
+                      the result is byte-identical to an uninterrupted run`)
 }
 
 func studyFlags(fs *flag.FlagSet) func() (*cellcurtain.Study, error) {
@@ -81,11 +100,27 @@ func studyFlags(fs *flag.FlagSet) func() (*cellcurtain.Study, error) {
 	scale := fs.Float64("scale", 0, "client population scale")
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = serial)")
 	faults := fs.String("faults", "", "fault scenario (preset name or DSL)")
+	ckDir := fs.String("checkpoint-dir", "", "durable checkpoint directory (empty = no checkpointing)")
+	ckEvery := fs.Int("checkpoint-every", 0, "checkpoint fsync cadence in experiments (0 = default 64)")
+	resume := fs.Bool("resume", false, "resume the campaign checkpointed in -checkpoint-dir")
 	return func() (*cellcurtain.Study, error) {
-		fmt.Fprintln(os.Stderr, "curtain: building world and running campaign...")
+		if *resume && *ckDir == "" {
+			return nil, fmt.Errorf("-resume requires -checkpoint-dir")
+		}
+		var interrupt <-chan struct{}
+		if *ckDir != "" {
+			interrupt = notifyInterrupt(*ckDir)
+		}
+		verb := "running"
+		if *resume {
+			verb = "resuming"
+		}
+		fmt.Fprintf(os.Stderr, "curtain: building world and %s campaign...\n", verb)
 		s, err := cellcurtain.NewStudy(cellcurtain.Options{
 			Seed: *seed, Days: *days, IntervalHours: *interval, ClientScale: *scale,
 			Workers: *workers, Faults: *faults,
+			CheckpointDir: *ckDir, CheckpointEvery: *ckEvery, Resume: *resume,
+			Interrupt: interrupt,
 		})
 		if err != nil {
 			return nil, err
@@ -94,6 +129,27 @@ func studyFlags(fs *flag.FlagSet) func() (*cellcurtain.Study, error) {
 			s.ExperimentCount(), s.ClientCount())
 		return s, nil
 	}
+}
+
+// notifyInterrupt converts the first SIGINT/SIGTERM into a graceful
+// campaign stop: workers drain their in-flight experiment and the
+// checkpoint in ckDir is flushed before the process exits. A second
+// signal aborts immediately (the checkpoint loses at most the experiments
+// since the last fsync — exactly what -resume recovers from).
+func notifyInterrupt(ckDir string) <-chan struct{} {
+	interrupt := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintf(os.Stderr,
+			"curtain: interrupt — draining in-flight experiments and flushing checkpoint %s (again to abort)\n", ckDir)
+		close(interrupt)
+		<-sig
+		fmt.Fprintln(os.Stderr, "curtain: aborting")
+		os.Exit(130)
+	}()
+	return interrupt
 }
 
 func runList() error {
@@ -151,16 +207,41 @@ func runSimulate(args []string) error {
 	fs.Parse(args)
 	s, err := build()
 	if err != nil {
+		if errors.Is(err, trace.ErrInterrupted) {
+			// The requested stop is not a failure: report how to continue.
+			fmt.Fprintf(os.Stderr, "curtain: %v\ncurtain: resume with: curtain simulate -resume %s\n",
+				err, flagEcho(fs))
+			return nil
+		}
 		return err
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := s.WriteDataset(f); err != nil {
+	// Write-to-temp + fsync + rename: a crash mid-write can never leave a
+	// torn dataset at -out.
+	if err := dataset.WriteFileAtomic(*out, func(w io.Writer) error {
+		return s.WriteDataset(w)
+	}); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "curtain: wrote %d experiments to %s\n", s.ExperimentCount(), *out)
 	return nil
+}
+
+// flagEcho reconstructs the explicitly-set flags of a parsed FlagSet so
+// interrupt messages can print a copy-pasteable resume command.
+func flagEcho(fs *flag.FlagSet) string {
+	var parts []string
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "resume" {
+			return
+		}
+		parts = append(parts, fmt.Sprintf("-%s %s", f.Name, f.Value.String()))
+	})
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
 }

@@ -14,6 +14,9 @@ import (
 	"flag"
 	"log"
 	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cellcurtain/internal/dnsclient"
@@ -49,8 +52,29 @@ func main() {
 	}
 
 	srv := &dnsserver.Server{Handler: fwd, Logf: log.Printf}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(*listen); err != nil {
+			errCh <- err
+		}
+	}()
 	log.Printf("fwdns: forwarding %s -> %s", *listen, up)
-	if err := srv.ListenAndServe(*listen); err != nil {
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		// Drain: stop accepting, let in-flight forwards answer, log the
+		// final cache stats so short sessions still report hit rates.
+		log.Printf("fwdns: %s — draining", s)
+		ok := srv.Drain(5 * time.Second)
+		hits, misses := fwd.Stats()
+		log.Printf("fwdns: final: %d hits, %d misses", hits, misses)
+		if !ok {
+			log.Printf("fwdns: drain deadline exceeded")
+			os.Exit(1)
+		}
+	case err := <-errCh:
 		log.Fatalf("fwdns: %v", err)
 	}
 }

@@ -8,10 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 )
 
@@ -40,8 +44,27 @@ func main() {
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
 	log.Printf("replicad: %s serving on %s", *name, *listen)
-	if err := srv.ListenAndServe(); err != nil {
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("replicad: %s — draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("replicad: drain deadline exceeded: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("replicad: drained cleanly")
+	case err := <-errCh:
 		log.Fatalf("replicad: %v", err)
 	}
 }

@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file through a temp file in the same
+// directory, fsyncs it, and renames it into place, so a crash mid-write
+// can never leave a torn artifact at path: readers see either the old
+// content or the complete new content. The directory entry is fsync'd
+// after the rename to make the swap itself durable.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("dataset: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			_ = tmp.Close()          // double close on the error path is harmless
+			_ = os.Remove(tmpName)   // best effort: do not mask the write error
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err = write(bw); err != nil {
+		return fmt.Errorf("dataset: atomic write %s: %w", path, err)
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("dataset: atomic write %s: flush: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("dataset: atomic write %s: fsync: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("dataset: atomic write %s: close: %w", path, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("dataset: atomic write %s: rename: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("dataset: sync dir %s: %w", dir, err)
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return fmt.Errorf("dataset: sync dir %s: %w", dir, serr)
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -125,6 +126,13 @@ type Experiment struct {
 	// TraceFailed records that the egress traceroute itself failed (no
 	// route), as opposed to simply eliciting no responding hops.
 	TraceFailed bool `json:"trace_failed,omitempty"`
+	// Failed marks an experiment that did not complete: the measurement
+	// code panicked mid-run and was recovered. The marker preserves the
+	// experiment's identity (seq, client, time) so a campaign loses one
+	// record's measurements — never the shard or the run.
+	Failed bool `json:"failed,omitempty"`
+	// FailReason carries the recovered panic message of a Failed experiment.
+	FailReason string `json:"fail_reason,omitempty"`
 }
 
 // DiscoveredExternal returns the whoami-observed external resolver for a
@@ -170,25 +178,48 @@ func (d *Dataset) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadJSONL loads a dataset written by WriteJSONL.
+// ReadJSONL loads a dataset written by WriteJSONL. It is strict: any
+// malformed line — including a truncated final line — is an error.
 func ReadJSONL(r io.Reader) (*Dataset, error) {
+	d, _, err := readJSONL(r, false)
+	return d, err
+}
+
+// ReadJSONLTorn loads a dataset tolerating a torn final line — the
+// expected state of an append-only segment after a hard kill mid-write.
+// A final line that does not parse (and has no trailing newline) is
+// dropped; the returned count is how many trailing bytes were discarded.
+// Torn or malformed lines anywhere else remain errors: a tear can only
+// be a suffix of the file.
+func ReadJSONLTorn(r io.Reader) (*Dataset, int, error) {
+	return readJSONL(r, true)
+}
+
+func readJSONL(r io.Reader, tolerateTorn bool) (*Dataset, int, error) {
 	d := &Dataset{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	br := bufio.NewReaderSize(r, 1<<20)
 	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
+	for {
+		raw, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return nil, 0, fmt.Errorf("dataset: read: %w", err)
 		}
-		var e Experiment
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		atEOF := err == io.EOF
+		trimmed := bytes.TrimSuffix(raw, []byte("\n"))
+		if len(trimmed) > 0 {
+			line++
+			var e Experiment
+			if jerr := json.Unmarshal(trimmed, &e); jerr != nil {
+				if atEOF && tolerateTorn {
+					// The tail never made it to disk whole; drop it.
+					return d, len(raw), nil
+				}
+				return nil, 0, fmt.Errorf("dataset: line %d: %w", line, jerr)
+			}
+			d.Add(&e)
 		}
-		d.Add(&e)
+		if atEOF {
+			return d, 0, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return d, nil
 }

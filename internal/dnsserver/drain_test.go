@@ -1,0 +1,189 @@
+package dnsserver
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dnsclient"
+	"cellcurtain/internal/dnswire"
+)
+
+// slowEcho is echoA with a deliberate per-query delay, so a drain can be
+// initiated while a handler is provably in flight.
+func slowEcho(started chan<- struct{}, delay time.Duration) HandlerFunc {
+	return func(remote netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		time.Sleep(delay)
+		return echoA(remote, q)
+	}
+}
+
+func TestUDPDrainWaitsForInFlightQuery(t *testing.T) {
+	started := make(chan struct{}, 1)
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{Handler: slowEcho(started, 200*time.Millisecond)}
+	go func() { _ = s.Serve(conn) }()
+	addr := conn.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	// Fire a query and wait until its handler is running.
+	resCh := make(chan error, 1)
+	go func() {
+		c := dnsclient.New(&dnsclient.UDPTransport{Port: addr.Port(), Timeout: 5 * time.Second}, nil)
+		res, err := c.QueryA(addr.Addr(), "inflight.example")
+		if err == nil && len(res.IPs()) != 1 {
+			err = net.ErrClosed
+		}
+		resCh <- err
+	}()
+	<-started
+
+	// Drain must block until the slow handler has written its response,
+	// then report a clean stop.
+	t0 := time.Now()
+	if !s.Drain(2 * time.Second) {
+		t.Fatal("Drain timed out with a 200ms handler in flight")
+	}
+	if d := time.Since(t0); d < 150*time.Millisecond {
+		t.Fatalf("Drain returned in %v, before the in-flight handler finished", d)
+	}
+	// The client must still have received the answer the drain waited for.
+	if err := <-resCh; err != nil {
+		t.Fatalf("in-flight query lost during drain: %v", err)
+	}
+	// The socket is closed: new queries get nothing.
+	c := dnsclient.New(&dnsclient.UDPTransport{Port: addr.Port(), Timeout: 300 * time.Millisecond}, nil)
+	if _, err := c.QueryA(addr.Addr(), "after.example"); err == nil {
+		t.Fatal("drained server still answering")
+	}
+}
+
+func TestUDPDrainTimesOutOnStuckHandler(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	h := HandlerFunc(func(remote netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return echoA(remote, q)
+	})
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{Handler: h}
+	go func() { _ = s.Serve(conn) }()
+	addr := conn.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	q := dnswire.NewQuery(7, "stuck.example", dnswire.TypeA)
+	payload, _ := q.Pack()
+	cl, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	if s.Drain(100 * time.Millisecond) {
+		t.Fatal("Drain reported success with a wedged handler")
+	}
+	close(release) // let the goroutine exit so -race sees it finish
+}
+
+func TestDrainWithoutServe(t *testing.T) {
+	// Drain on a never-served server must not hang or panic.
+	s := &Server{Handler: echoA}
+	if !s.Drain(100 * time.Millisecond) {
+		t.Fatal("Drain on idle server should succeed")
+	}
+	ts := &TCPServer{Handler: echoA}
+	if !ts.Drain(100 * time.Millisecond) {
+		t.Fatal("TCP Drain on idle server should succeed")
+	}
+}
+
+func TestTCPDrainWaitsForInFlightQuery(t *testing.T) {
+	started := make(chan struct{}, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &TCPServer{Handler: slowEcho(started, 200*time.Millisecond)}
+	go func() { _ = s.Serve(ln) }()
+	addr := ln.Addr().(*net.TCPAddr).AddrPort()
+
+	resCh := make(chan error, 1)
+	go func() {
+		tr := &dnsclient.TCPTransport{Port: addr.Port(), Timeout: 5 * time.Second}
+		c := dnsclient.New(tr, nil)
+		_, err := c.QueryA(addr.Addr(), "inflight.example")
+		resCh <- err
+	}()
+	<-started
+
+	if !s.Drain(2 * time.Second) {
+		t.Fatal("TCP Drain timed out with a 200ms handler in flight")
+	}
+	if err := <-resCh; err != nil {
+		t.Fatalf("in-flight TCP query lost during drain: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", addr.String(), 300*time.Millisecond); err == nil {
+		t.Fatal("drained TCP server still accepting")
+	}
+}
+
+func TestTCPDrainForceClosesIdleConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &TCPServer{Handler: echoA}
+	go func() { _ = s.Serve(ln) }()
+	addr := ln.Addr().(*net.TCPAddr).AddrPort()
+
+	// An idle keepalive connection holds its serve loop open (10s idle
+	// timeout by default), so the drain deadline must fire and the forced
+	// close must take the connection down.
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Complete one query so the connection is provably established.
+	q := dnswire.NewQuery(1, "idle.example", dnswire.TypeA)
+	payload, _ := q.Pack()
+	framed := append([]byte{byte(len(payload) >> 8), byte(len(payload))}, payload...)
+	if _, err := conn.Write(framed); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var lenBuf [2]byte
+	if _, err := readFull(conn, lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	resp := make([]byte, int(lenBuf[0])<<8|int(lenBuf[1]))
+	if _, err := readFull(conn, resp); err != nil {
+		t.Fatal(err)
+	}
+
+	if s.Drain(200 * time.Millisecond) {
+		t.Fatal("Drain should report false while an idle connection is open")
+	}
+	// The forced close must have severed the idle connection.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(lenBuf[:]); err == nil {
+		t.Fatal("idle connection survived forced drain")
+	}
+}

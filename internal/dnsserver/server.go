@@ -38,9 +38,10 @@ type Server struct {
 	// socket buffer cannot wedge a handler goroutine forever.
 	WriteTimeout time.Duration
 
-	mu   sync.Mutex
-	conn *net.UDPConn
-	done chan struct{}
+	mu       sync.Mutex
+	conn     *net.UDPConn
+	done     chan struct{}
+	handlers sync.WaitGroup
 }
 
 // ListenAndServe binds addr (e.g. "127.0.0.1:5353") and serves until
@@ -80,7 +81,11 @@ func (s *Server) Serve(conn *net.UDPConn) error {
 		}
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
-		go s.handle(conn, raddr, pkt)
+		s.handlers.Add(1)
+		go func() {
+			defer s.handlers.Done()
+			s.handle(conn, raddr, pkt)
+		}()
 	}
 }
 
@@ -94,12 +99,56 @@ func (s *Server) Addr() netip.AddrPort {
 	return s.conn.LocalAddr().(*net.UDPAddr).AddrPort()
 }
 
-// Shutdown closes the listener, unblocking Serve.
+// Shutdown closes the listener, unblocking Serve. In-flight handlers are
+// abandoned; use Drain for a graceful stop.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.conn != nil {
 		_ = s.conn.Close() // best-effort: Shutdown's purpose is unblocking Serve
+	}
+}
+
+// Drain gracefully stops the server: it stops reading new queries, waits
+// up to timeout for every in-flight handler to finish writing its
+// response, then closes the socket. The socket must stay open during the
+// wait — responses leave through the same UDP socket queries arrive on.
+// It reports whether the drain completed; on false, handlers were still
+// running at the deadline (each is individually bounded by WriteTimeout,
+// so they cannot leak forever) and the socket is closed under them.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.mu.Lock()
+	conn := s.conn
+	done := s.done
+	s.mu.Unlock()
+	if conn == nil {
+		return true // never served
+	}
+	defer s.Shutdown()
+	// A read deadline in the past unblocks the read loop without closing
+	// the socket, so in-flight handlers can still send.
+	_ = conn.SetReadDeadline(time.Unix(0, 1)) // best-effort; a failure only delays the drain
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	if done != nil {
+		// Wait for the read loop to exit: after that no handler can start,
+		// so the WaitGroup count only decreases.
+		select {
+		case <-done:
+		case <-deadline.C:
+			return false
+		}
+	}
+	finished := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return true
+	case <-deadline.C:
+		return false
 	}
 }
 

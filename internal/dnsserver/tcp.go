@@ -26,8 +26,11 @@ type TCPServer struct {
 	// (default 10 s).
 	IdleTimeout time.Duration
 
-	mu sync.Mutex
-	ln net.Listener
+	mu       sync.Mutex
+	ln       net.Listener
+	done     chan struct{}
+	conns    map[net.Conn]struct{}
+	handlers sync.WaitGroup
 }
 
 // ListenAndServe binds addr and serves until Shutdown.
@@ -43,13 +46,31 @@ func (s *TCPServer) ListenAndServe(addr string) error {
 func (s *TCPServer) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
+	s.done = make(chan struct{})
+	done := s.done
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
 	s.mu.Unlock()
+	defer close(done)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		go s.serveConn(conn)
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.handlers.Add(1)
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				s.handlers.Done()
+			}()
+			s.serveConn(conn)
+		}()
 	}
 }
 
@@ -66,12 +87,56 @@ func (s *TCPServer) Addr() netip.AddrPort {
 	return netip.AddrPort{}
 }
 
-// Shutdown closes the listener.
+// Shutdown closes the listener. Established connections keep serving;
+// use Drain to stop them too.
 func (s *TCPServer) Shutdown() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.ln != nil {
 		_ = s.ln.Close() // best-effort: Shutdown's purpose is unblocking Serve
+	}
+}
+
+// Drain gracefully stops the server: it closes the listener, waits up to
+// timeout for established connections to finish their in-flight queries,
+// then force-closes whatever remains (idle keepalive connections, for
+// example). It reports whether every connection finished on its own.
+func (s *TCPServer) Drain(timeout time.Duration) bool {
+	s.Shutdown()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	s.mu.Lock()
+	done := s.done
+	s.mu.Unlock()
+	if done != nil {
+		// Accept loop first: after it exits no connection can be added.
+		select {
+		case <-done:
+		case <-deadline.C:
+			s.closeConns()
+			return false
+		}
+	}
+	finished := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return true
+	case <-deadline.C:
+		s.closeConns()
+		return false
+	}
+}
+
+// closeConns force-closes every tracked connection.
+func (s *TCPServer) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		_ = conn.Close() // unblocks the serve loop; its own error handling reports
 	}
 }
 

@@ -1,0 +1,135 @@
+package dnswire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// goldenMessages builds the seed corpus: one message per wire feature the
+// codec supports (each rdata type, EDNS, compression-heavy responses).
+func goldenMessages(tb testing.TB) [][]byte {
+	tb.Helper()
+	var out [][]byte
+	add := func(m *Message) {
+		pkt, err := m.Pack()
+		if err != nil {
+			tb.Fatalf("seed pack: %v", err)
+		}
+		out = append(out, pkt)
+	}
+
+	add(NewQuery(1, "www.example.com", TypeA))
+	add(NewQuery(2, "example.com", TypeTXT))
+
+	resp := NewQuery(3, "cdn.example.net", TypeA).Reply()
+	resp.Header.Authoritative = true
+	resp.Answers = []Record{
+		{Name: "cdn.example.net", Class: ClassIN, TTL: 30,
+			Data: CNAME{Target: "edge.provider.example"}},
+		{Name: "edge.provider.example", Class: ClassIN, TTL: 30,
+			Data: A{Addr: netip.MustParseAddr("192.0.2.7")}},
+		{Name: "edge.provider.example", Class: ClassIN, TTL: 30,
+			Data: AAAA{Addr: netip.MustParseAddr("2001:db8::7")}},
+	}
+	resp.Authorities = []Record{
+		{Name: "provider.example", Class: ClassIN, TTL: 3600,
+			Data: NS{Host: "ns1.provider.example"}},
+		{Name: "provider.example", Class: ClassIN, TTL: 3600,
+			Data: SOA{MName: "ns1.provider.example", RName: "hostmaster.provider.example",
+				Serial: 2014030101, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 60}},
+	}
+	resp.Additionals = []Record{
+		{Name: "ns1.provider.example", Class: ClassIN, TTL: 3600,
+			Data: A{Addr: netip.MustParseAddr("192.0.2.53")}},
+	}
+	add(resp)
+
+	mx := NewQuery(4, "example.org", TypeMX).Reply()
+	mx.Answers = []Record{
+		{Name: "example.org", Class: ClassIN, TTL: 300,
+			Data: MX{Preference: 10, Host: "mail.example.org"}},
+		{Name: "example.org", Class: ClassIN, TTL: 300,
+			Data: TXT{Strings: []string{"v=spf1 -all", "second string"}}},
+		{Name: "example.org", Class: ClassIN, TTL: 300,
+			Data: PTR{Target: "alias.example.org"}},
+	}
+	add(mx)
+
+	edns := NewQuery(5, "subnet.example.com", TypeA)
+	edns.Additionals = []Record{{Name: "", Class: ClassIN,
+		Data: OPT{UDPSize: 4096, Options: []EDNSOption{
+			{Code: OptionClientSubnet, Data: []byte{0, 1, 24, 0, 192, 0, 2}},
+		}}}}
+	add(edns)
+
+	raw := NewQuery(6, "unknown.example", Type(0xFF00)).Reply()
+	raw.Answers = []Record{{Name: "unknown.example", Class: ClassIN, TTL: 60,
+		Data: RawRData{T: Type(0xFF00), Data: []byte{0xDE, 0xAD, 0xBE, 0xEF}}}}
+	add(raw)
+
+	return out
+}
+
+// FuzzParseMessage asserts the parse/pack round-trip property: any input
+// Parse accepts must Pack without error, and the packed form must parse
+// again. Parse must never panic, whatever the input.
+func FuzzParseMessage(f *testing.F) {
+	for _, pkt := range goldenMessages(f) {
+		f.Add(pkt)
+	}
+	f.Add([]byte{})                    // short header
+	f.Add(make([]byte, headerLen))     // empty message
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, // qd=1 but no question bytes
+		0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return // rejected input: fine, as long as we didn't panic
+		}
+		pkt, err := m.Pack()
+		if err != nil {
+			t.Fatalf("accepted message failed to re-pack: %v\n%s", err, m)
+		}
+		if _, err := Parse(pkt); err != nil {
+			t.Fatalf("re-packed message failed to parse: %v\n%s", err, m)
+		}
+	})
+}
+
+// FuzzDecodeName asserts parseName's contract: no panics; on success the
+// returned end offset lands inside (0, len(data)], and the name re-encodes
+// through appendName into at most 255 wire octets.
+func FuzzDecodeName(f *testing.F) {
+	seed := func(n Name) []byte {
+		buf, err := appendName(nil, n, nil, 0)
+		if err != nil {
+			f.Fatalf("seed %q: %v", n, err)
+		}
+		return buf
+	}
+	f.Add(seed(""))
+	f.Add(seed("www.example.com"))
+	f.Add(seed("a.very.deep.chain.of.labels.example"))
+	// Compressed: "www.example.com" then a pointer to "example.com" at 4.
+	comp := seed("www.example.com")
+	f.Add(append(comp, 0xC0, 0x04))
+	f.Add([]byte{0xC0, 0x00})       // self-pointer (must be rejected)
+	f.Add([]byte{63})               // truncated label
+	f.Add([]byte{1, '.', 0})        // dot inside a label (must be rejected)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, end, err := parseName(data, 0)
+		if err != nil {
+			return
+		}
+		if end <= 0 || end > len(data) {
+			t.Fatalf("parseName end offset %d outside (0, %d]", end, len(data))
+		}
+		wire, err := appendName(nil, n, nil, 0)
+		if err != nil {
+			t.Fatalf("parsed name %q does not re-encode: %v", n, err)
+		}
+		if len(wire) > maxNameWire {
+			t.Fatalf("parsed name %q re-encodes to %d octets (max %d)", n, len(wire), maxNameWire)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package dnswire
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strings"
@@ -164,11 +165,20 @@ func parseName(msg []byte, off int) (Name, int, error) {
 			if pos+1+l > len(msg) {
 				return "", 0, ErrNameTruncated
 			}
+			label := msg[pos+1 : pos+1+l]
+			// A '.' inside a wire label has no unambiguous presentation
+			// form: "a.b" as ONE label would re-encode as two. Reject it
+			// so every parsed Name round-trips through appendName.
+			if bytes.IndexByte(label, '.') >= 0 {
+				return "", 0, fmt.Errorf("dnswire: label contains '.'")
+			}
 			if sb.Len() > 0 {
 				sb.WriteByte('.')
 			}
-			sb.Write(msg[pos+1 : pos+1+l])
-			if sb.Len() > maxNameWire {
+			sb.Write(label)
+			// Wire length is presentation length + 2 (k length octets plus
+			// the root byte, minus the k-1 presentation dots).
+			if sb.Len()+2 > maxNameWire {
 				return "", 0, ErrNameTooLong
 			}
 			pos += 1 + l

@@ -35,6 +35,13 @@ type Runner struct {
 	// TracerouteEvery controls how often the replica traceroute is taken
 	// (1 = every experiment). Traceroutes are the most expensive probe.
 	TracerouteEvery int
+	// BeforeExperiment, when set, is invoked at the start of every
+	// experiment once the record's metadata is prepared. A panic raised
+	// here — or anywhere else inside the experiment — is contained by the
+	// campaign layer (internal/trace), which records a failed-experiment
+	// marker instead of losing the worker. Intended for instrumentation
+	// and crash-injection tests.
+	BeforeExperiment func(seq int)
 
 	seq int
 }
@@ -95,6 +102,10 @@ func (r *Runner) RunAt(c *carrier.Client, now time.Time, seq int, stream *stats.
 		Radio:      string(c.Tech),
 		NATAddr:    c.NATAddrAt(now),
 		Configured: c.ConfiguredResolver(),
+	}
+
+	if r.BeforeExperiment != nil {
+		r.BeforeExperiment(seq)
 	}
 
 	targets := []resolverTarget{
@@ -201,6 +212,27 @@ func (r *Runner) RunAt(c *carrier.Client, now time.Time, seq int, stream *stats.
 		}
 	}
 	return exp
+}
+
+// FailedExperiment builds the marker record of an experiment that
+// panicked mid-measurement: the identity fields survive so the dataset
+// keeps its canonical shape, the measurement sections stay empty, and
+// Failed/FailReason record what happened.
+func FailedExperiment(c *carrier.Client, cn *carrier.Network, now time.Time, seq int, reason string) *dataset.Experiment {
+	return &dataset.Experiment{
+		Seq:        seq,
+		ClientID:   c.ID,
+		Carrier:    cn.Name,
+		Country:    cn.Country,
+		Time:       now,
+		Lat:        roundCoarse(c.Loc.Lat),
+		Lon:        roundCoarse(c.Loc.Lon),
+		Radio:      string(c.Tech),
+		NATAddr:    c.NATAddrAt(now),
+		Configured: c.ConfiguredResolver(),
+		Failed:     true,
+		FailReason: reason,
+	}
 }
 
 func clientNetwork(w *sim.World, c *carrier.Client) *carrier.Network {

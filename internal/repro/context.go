@@ -48,7 +48,18 @@ func NewContextWorld(cfg trace.Config, simCfg sim.Config) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	data := camp.Collect()
+	var data *dataset.Dataset
+	if cfg.CheckpointDir != "" {
+		// Durable path: completed experiments are checkpointed as they
+		// finish, and an interrupted run surfaces trace.ErrInterrupted
+		// instead of a dataset.
+		data, _, err = camp.CollectDurable()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		data = camp.Collect()
+	}
 	return &Context{
 		World:     w,
 		Campaign:  camp,

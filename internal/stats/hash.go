@@ -1,0 +1,30 @@
+package stats
+
+// Fingerprint hashes an ordered sequence of strings into a stable 64-bit
+// key using the same streamMix chain that derives RNG streams. It is the
+// identity function for campaign configurations: two configs with the
+// same fingerprint produce the same dataset, which is what lets a resumed
+// campaign prove it is continuing the run it thinks it is.
+//
+// The encoding is length-prefixed per part, so Fingerprint("ab") and
+// Fingerprint("a", "b") differ, as do permutations of the same parts.
+func Fingerprint(parts ...string) uint64 {
+	key := streamMix(0x46696e6765727072, uint64(len(parts))) // "Fingerpr" domain tag
+	for _, p := range parts {
+		key = streamMix(key, uint64(len(p)))
+		var chunk uint64
+		n := 0
+		for i := 0; i < len(p); i++ {
+			chunk = chunk<<8 | uint64(p[i])
+			n++
+			if n == 8 {
+				key = streamMix(key, chunk)
+				chunk, n = 0, 0
+			}
+		}
+		if n > 0 {
+			key = streamMix(key, chunk)
+		}
+	}
+	return key
+}

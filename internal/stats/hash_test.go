@@ -1,0 +1,82 @@
+package stats
+
+import "testing"
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := Fingerprint("seed=7", "2014-03-01", "12h")
+	b := Fingerprint("seed=7", "2014-03-01", "12h")
+	if a != b {
+		t.Fatalf("same parts hashed differently: %x vs %x", a, b)
+	}
+	if a == 0 {
+		t.Fatal("fingerprint is zero")
+	}
+}
+
+func TestFingerprintOrderSensitive(t *testing.T) {
+	if Fingerprint("a", "b") == Fingerprint("b", "a") {
+		t.Fatal("part order must matter")
+	}
+}
+
+func TestFingerprintBoundarySensitive(t *testing.T) {
+	// Length prefixing must keep ("ab","c") distinct from ("a","bc") —
+	// a plain concatenation hash would collide them.
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Fatal("part boundaries must matter")
+	}
+	if Fingerprint("a", "") == Fingerprint("a") {
+		t.Fatal("empty trailing part must matter")
+	}
+	if Fingerprint() == Fingerprint("") {
+		t.Fatal("no parts vs one empty part must differ")
+	}
+}
+
+func TestFingerprintContentSensitive(t *testing.T) {
+	base := Fingerprint("seed=7", "faults=")
+	for _, parts := range [][]string{
+		{"seed=8", "faults="},
+		{"seed=7", "faults=resolver-outage"},
+		{"seed=7"},
+	} {
+		if Fingerprint(parts...) == base {
+			t.Fatalf("parts %q collide with base", parts)
+		}
+	}
+}
+
+func TestFingerprintLongParts(t *testing.T) {
+	// Parts longer than one 8-byte chunk must feed every byte into the
+	// hash, not just a prefix.
+	long := make([]byte, 64)
+	for i := range long {
+		long[i] = byte('a' + i%26)
+	}
+	a := Fingerprint(string(long))
+	long[63] ^= 1
+	if Fingerprint(string(long)) == a {
+		t.Fatal("trailing byte of a long part ignored")
+	}
+	long[63] ^= 1
+	long[0] ^= 1
+	if Fingerprint(string(long)) == a {
+		t.Fatal("leading byte of a long part ignored")
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	// The fingerprint is persisted in checkpoint manifests, so it must
+	// never change across releases: pin a few known values.
+	for _, tc := range []struct {
+		parts []string
+		want  uint64
+	}{
+		{[]string{}, 0x57841ce4d97db757},
+		{[]string{"2014"}, 0x658cdad862a3fb8c},
+	} {
+		if got := Fingerprint(tc.parts...); got != tc.want {
+			t.Fatalf("Fingerprint(%q) = %x, want %x", tc.parts, got, tc.want)
+		}
+	}
+}

@@ -5,8 +5,10 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
+	"strconv"
 	"sync"
 	"time"
 
@@ -64,6 +66,25 @@ type Config struct {
 	// installed on its fabric. Injections draw from the per-experiment
 	// stream, so a fault campaign stays worker-count invariant.
 	Faults string
+	// CheckpointDir, when non-empty, makes CollectDurable append every
+	// completed experiment to a fsync'd JSONL segment under this
+	// directory, with a manifest recording the campaign's identity. A run
+	// killed at any point resumes from the durable prefix.
+	CheckpointDir string
+	// CheckpointEvery is the fsync cadence in experiments (0 = the
+	// dataset package default). Smaller values bound the re-run window
+	// after a hard kill at the cost of more fsyncs.
+	CheckpointEvery int
+	// Resume makes CollectDurable load the checkpoint in CheckpointDir,
+	// verify its seed/config hash, skip every durable experiment and run
+	// only the remainder. Per-experiment RNG streams keyed by
+	// (Seed, client, seq) make the continuation byte-identical to an
+	// uninterrupted run, for any worker count and under faults.
+	Resume bool
+	// Interrupt, when non-nil, requests a graceful stop once closed:
+	// workers finish their in-flight experiment (drain), the checkpoint
+	// is flushed, and CollectDurable returns ErrInterrupted.
+	Interrupt <-chan struct{}
 }
 
 // DefaultConfig returns the paper-shaped campaign configuration.
@@ -109,6 +130,27 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Hash fingerprints every configuration field that determines the
+// dataset. Workers is deliberately excluded (the dataset is worker-count
+// invariant), as are the checkpoint/interrupt fields, which shape how a
+// run executes but never what it produces. A resume refuses a checkpoint
+// whose recorded hash differs: continuing it would splice two different
+// datasets together.
+func (c Config) Hash() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("%016x", stats.Fingerprint(
+		strconv.FormatUint(c.Seed, 10),
+		c.Start.UTC().Format(time.RFC3339Nano),
+		c.End.UTC().Format(time.RFC3339Nano),
+		c.Interval.String(),
+		strconv.FormatFloat(c.LTEShare, 'g', -1, 64),
+		strconv.FormatFloat(c.TravelProb, 'g', -1, 64),
+		strconv.FormatFloat(c.ClientScale, 'g', -1, 64),
+		strconv.Itoa(c.TracerouteEvery),
+		c.Faults,
+	))
+}
+
 // Campaign is a scheduled measurement study over one world.
 type Campaign struct {
 	World   *sim.World
@@ -122,6 +164,10 @@ type Campaign struct {
 	// campaigns over independently built worlds. Worker w handles
 	// clients w, w+Workers, w+2*Workers, ... on its own replica.
 	replicas []*Campaign
+	// afterExperiment, when set (tests), observes each newly completed
+	// experiment with the total completed count, including experiments
+	// reused from a checkpoint. Workers may invoke it concurrently.
+	afterExperiment func(completed int)
 }
 
 // NewCampaign subscribes the client population and prepares the runner.
@@ -174,6 +220,9 @@ func NewCampaign(w *sim.World, cfg Config) (*Campaign, error) {
 			repCfg := cfg
 			repCfg.Workers = 1
 			repCfg.WorldFactory = nil
+			// Durability is coordinated by the root campaign; shards only
+			// run experiments.
+			repCfg.CheckpointDir, repCfg.Resume = "", false
 			rep, err := NewCampaign(rw, repCfg)
 			if err != nil {
 				return nil, fmt.Errorf("trace: campaign replica %d: %w", i, err)
@@ -228,54 +277,151 @@ func (c *Campaign) Steps() int {
 // sees identical fabric state regardless of worker count.
 const postCampaignLabel = 0x90D7
 
+// ErrInterrupted reports a campaign stopped early on Config.Interrupt.
+// Every completed experiment is durable in the checkpoint; a later run
+// with Config.Resume continues from exactly that point.
+var ErrInterrupted = errors.New("trace: campaign interrupted")
+
+// RunStatus reports how a durable campaign run ended.
+type RunStatus struct {
+	// Total is the number of experiments in the full campaign.
+	Total int
+	// Completed is how many experiments are durable, counting both
+	// checkpoint-reused and newly run ones.
+	Completed int
+	// Reused is how many experiments were loaded from the checkpoint
+	// instead of re-run.
+	Reused int
+	// DiscardedBytes is the size of the torn segment tail dropped on
+	// resume (nonzero only after a hard kill mid-append).
+	DiscardedBytes int
+	// Interrupted reports the run drained and stopped on Config.Interrupt
+	// before completing.
+	Interrupted bool
+}
+
 // Run executes the full campaign, invoking record for every experiment
 // in canonical (time, client, seq) order. Each experiment runs on its
 // own random stream derived from (Seed, client, seq), so the recorded
 // dataset is byte-identical whether the campaign runs serially or
 // sharded across workers.
 func (c *Campaign) Run(record func(*dataset.Experiment)) {
+	// Without a checkpoint there is no error source; the status is the
+	// trivial "everything ran" unless Config.Interrupt fired.
+	_, _ = c.run(nil, nil, record)
+}
+
+// run is the shared execution engine: worker w of W handles clients
+// w, w+W, w+2W, ... for every step on its own world replica, results
+// land at their canonical index, and record sees them in canonical
+// order. Experiments present in prior (keyed by seq) are reused instead
+// of re-run; newly completed ones are appended to ck when it is non-nil.
+// A panicking experiment is recovered inside runExperiment, so a worker
+// can never die and strand its shard. When Config.Interrupt closes, each
+// worker finishes its in-flight experiment and stops; record is then not
+// called (the partial state lives in the checkpoint, not the dataset).
+func (c *Campaign) run(prior map[int]*dataset.Experiment, ck *dataset.Checkpoint, record func(*dataset.Experiment)) (RunStatus, error) {
 	steps, clients := c.Steps(), len(c.Clients)
+	total := steps * clients
+	st := RunStatus{Total: total, Reused: len(prior)}
 	shards := append([]*Campaign{c}, c.replicas...)
-	if len(shards) == 1 {
+	results := make([]*dataset.Experiment, total)
+
+	var mu sync.Mutex
+	var firstErr error
+	completed := len(prior)
+	stopped := false
+
+	interruptRequested := func() bool {
+		if c.Config.Interrupt == nil {
+			return false
+		}
+		select {
+		case <-c.Config.Interrupt:
+			return true
+		default:
+			return false
+		}
+	}
+
+	runShard := func(w int, shard *Campaign) {
 		for step := 0; step < steps; step++ {
-			for i := range c.Clients {
-				record(c.runExperiment(step, i))
+			for i := w; i < clients; i += len(shards) {
+				idx := step*clients + i
+				if e, ok := prior[idx+1]; ok {
+					results[idx] = e
+					continue
+				}
+				mu.Lock()
+				stop := stopped || firstErr != nil
+				mu.Unlock()
+				if stop || interruptRequested() {
+					mu.Lock()
+					stopped = true
+					mu.Unlock()
+					return
+				}
+				e := shard.runExperiment(step, i)
+				results[idx] = e
+				mu.Lock()
+				if ck != nil && firstErr == nil {
+					if err := ck.Append(e); err != nil {
+						firstErr = err
+					}
+				}
+				completed++
+				done := completed
+				hook := c.afterExperiment
+				mu.Unlock()
+				if hook != nil {
+					hook(done)
+				}
 			}
 		}
+	}
+
+	if len(shards) == 1 {
+		runShard(0, c)
 	} else {
-		// Worker w owns clients w, w+W, w+2W, ... for every step, on its
-		// own world replica; results land at their canonical index.
-		results := make([]*dataset.Experiment, steps*clients)
 		var wg sync.WaitGroup
 		for w, shard := range shards {
 			wg.Add(1)
 			go func(w int, shard *Campaign) {
 				defer wg.Done()
-				for step := 0; step < steps; step++ {
-					for i := w; i < clients; i += len(shards) {
-						results[step*clients+i] = shard.runExperiment(step, i)
-					}
-				}
+				runShard(w, shard)
 			}(w, shard)
 		}
 		wg.Wait()
-		for _, e := range results {
-			record(e)
-		}
+	}
+
+	st.Completed = completed
+	st.Interrupted = stopped
+	if firstErr != nil {
+		return st, firstErr
+	}
+	if st.Interrupted {
+		return st, nil
+	}
+	for _, e := range results {
+		record(e)
 	}
 	// Leave every fabric in a canonical post-campaign state so analyses
 	// that probe after Run are also worker-count invariant.
 	for _, shard := range shards {
 		shard.World.Fabric.BeginExperiment(c.Config.End,
-			stats.Stream(c.Config.Seed, postCampaignLabel, uint64(steps*clients)))
+			stats.Stream(c.Config.Seed, postCampaignLabel, uint64(total)))
 	}
+	return st, nil
 }
 
 // runExperiment executes experiment (step, clientIdx). The canonical
 // sequence number and the per-experiment random stream depend only on
 // the experiment's identity — never on which worker runs it or in what
-// order — which is what makes execution worker-count invariant.
-func (c *Campaign) runExperiment(step, clientIdx int) *dataset.Experiment {
+// order — which is what makes execution worker-count invariant. A panic
+// anywhere inside the measurement is recovered and recorded as a
+// failed-experiment marker, so one crashing experiment costs one record,
+// not the shard.
+func (c *Campaign) runExperiment(step, clientIdx int) (exp *dataset.Experiment) {
 	client := c.Clients[clientIdx]
 	cn := networkOf(c.World, client)
 	base := c.Config.Start.Add(time.Duration(step) * c.Config.Interval)
@@ -283,8 +429,13 @@ func (c *Campaign) runExperiment(step, clientIdx int) *dataset.Experiment {
 	// lock-step (the paper's devices were independent).
 	offset := time.Duration(client.Key%uint64(c.Config.Interval/time.Minute)) * time.Minute
 	now := base.Add(offset)
-	c.prepare(client, cn, now)
 	seq := step*len(c.Clients) + clientIdx + 1
+	defer func() {
+		if p := recover(); p != nil {
+			exp = measure.FailedExperiment(client, cn, now, seq, fmt.Sprint(p))
+		}
+	}()
+	c.prepare(client, cn, now)
 	stream := stats.Stream(c.Config.Seed, client.Key, uint64(seq))
 	return c.runner.RunAt(client, now, seq, stream)
 }
@@ -294,6 +445,75 @@ func (c *Campaign) Collect() *dataset.Dataset {
 	d := &dataset.Dataset{}
 	c.Run(d.Add)
 	return d
+}
+
+// CollectDurable runs the campaign with durable checkpointing in
+// Config.CheckpointDir. Completed experiments are appended to the
+// checkpoint segment as they finish; with Config.Resume the durable
+// prefix of a previous run is verified against the campaign's seed and
+// config hash, reused, and only the remainder executes. On a completed
+// run it returns the full canonical dataset — byte-identical to an
+// uninterrupted run. On interrupt it returns ErrInterrupted with the
+// checkpoint flushed.
+func (c *Campaign) CollectDurable() (*dataset.Dataset, RunStatus, error) {
+	cfg := c.Config
+	if cfg.CheckpointDir == "" {
+		return nil, RunStatus{}, fmt.Errorf("trace: CollectDurable requires Config.CheckpointDir")
+	}
+	total := c.Steps() * len(c.Clients)
+	var (
+		ck        *dataset.Checkpoint
+		prior     map[int]*dataset.Experiment
+		discarded int
+	)
+	if cfg.Resume {
+		opened, priorDS, torn, err := dataset.OpenCheckpoint(cfg.CheckpointDir)
+		if err != nil {
+			return nil, RunStatus{}, fmt.Errorf("trace: resume: %w", err)
+		}
+		m := opened.Manifest()
+		if m.Seed != cfg.Seed || m.ConfigHash != cfg.Hash() || m.Total != total {
+			_ = opened.Close()
+			return nil, RunStatus{}, fmt.Errorf(
+				"trace: checkpoint %s belongs to a different campaign (seed=%d hash=%s total=%d, want seed=%d hash=%s total=%d)",
+				cfg.CheckpointDir, m.Seed, m.ConfigHash, m.Total, cfg.Seed, cfg.Hash(), total)
+		}
+		opened.SetEvery(cfg.CheckpointEvery)
+		prior = make(map[int]*dataset.Experiment, priorDS.Len())
+		for _, e := range priorDS.Experiments {
+			if e.Seq < 1 || e.Seq > total {
+				_ = opened.Close()
+				return nil, RunStatus{}, fmt.Errorf("trace: checkpoint %s: experiment seq %d outside 1..%d",
+					cfg.CheckpointDir, e.Seq, total)
+			}
+			prior[e.Seq] = e
+		}
+		ck, discarded = opened, torn
+	} else {
+		created, err := dataset.CreateCheckpoint(cfg.CheckpointDir, dataset.Manifest{
+			Seed: cfg.Seed, ConfigHash: cfg.Hash(), Total: total,
+		}, cfg.CheckpointEvery)
+		if err != nil {
+			return nil, RunStatus{}, fmt.Errorf("trace: checkpoint: %w", err)
+		}
+		ck = created
+	}
+
+	ds := &dataset.Dataset{}
+	st, runErr := c.run(prior, ck, ds.Add)
+	st.DiscardedBytes = discarded
+	cerr := ck.Close()
+	if runErr != nil {
+		return nil, st, runErr
+	}
+	if cerr != nil {
+		return nil, st, cerr
+	}
+	if st.Interrupted {
+		return nil, st, fmt.Errorf("%w: %d/%d experiments durable in %s",
+			ErrInterrupted, st.Completed, st.Total, cfg.CheckpointDir)
+	}
+	return ds, st, nil
 }
 
 func networkOf(w *sim.World, client *carrier.Client) *carrier.Network {

@@ -33,6 +33,13 @@ go test -race -count=1 -run '^TestWorkerCountInvarianceWithFaults$' ./internal/t
 echo "==> fault smoke (AVAIL report under resolver-outage)"
 go run ./cmd/curtain exp -id AVAIL -faults resolver-outage -days 2 -scale 0.05 >/dev/null
 
+echo "==> kill-and-resume invariance (abort + resume -> byte-identical dataset)"
+go test -race -count=1 -run '^TestKillResumeInvariance$' ./internal/trace/
+
+echo "==> dnswire fuzz smoke (5s per target, seed corpus in testdata/fuzz)"
+go test -count=1 -run '^$' -fuzz '^FuzzParseMessage$' -fuzztime=5s ./internal/dnswire/
+go test -count=1 -run '^$' -fuzz '^FuzzDecodeName$' -fuzztime=5s ./internal/dnswire/
+
 echo "==> benchmark smoke (1 iteration of BenchmarkCampaign/workers=1)"
 go test -run '^$' -bench '^BenchmarkCampaign/workers=1$' -benchtime 1x .
 
