@@ -202,8 +202,8 @@ func (s *Study) WriteDataset(w io.Writer) error {
 // Summary returns per-carrier experiment counts.
 func (s *Study) Summary() map[string]int {
 	out := map[string]int{}
-	for carrier, exps := range s.ctx.Data.ByCarrier() {
-		out[carrier] = len(exps)
+	for _, g := range s.ctx.Data.ByCarrier() {
+		out[g.Carrier] = len(g.Experiments)
 	}
 	return out
 }

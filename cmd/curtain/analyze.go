@@ -1,79 +1,172 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
 	"cellcurtain/internal/analysis"
+	"cellcurtain/internal/analysis/engine"
 	"cellcurtain/internal/dataset"
 )
 
-// runAnalyze loads a JSONL dataset written by `curtain simulate` (or any
-// compatible collector) and prints the dataset-derivable analyses without
-// rebuilding the simulation world. It is the offline half of the
-// pipeline: the paper's own workflow of collecting in the field and
-// analyzing later.
+// runAnalyze reads a dataset written by `curtain simulate` (a JSONL file
+// or a campaign checkpoint directory) and prints the dataset-derivable
+// analyses without rebuilding the simulation world. It is the offline
+// half of the pipeline: the paper's own workflow of collecting in the
+// field and analyzing later.
+//
+// By default the dataset is streamed through the one-pass aggregation
+// engine in constant memory; -parallel shards the scan, -legacy
+// materializes the dataset and uses the slice metric path instead. All
+// three produce byte-identical reports.
 func runAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
-	in := fs.String("in", "dataset.jsonl", "input JSONL dataset")
+	in := fs.String("in", "dataset.jsonl", "input JSONL dataset or checkpoint directory")
+	parallel := fs.Int("parallel", 1, "concurrent shard scanners (JSONL input only)")
+	legacy := fs.Bool("legacy", false, "materialize the dataset and use the slice metric path")
+	progress := fs.Bool("progress", false, "report scan progress on stderr")
+	runStats := fs.Bool("stats", false, "report scan time and peak RSS on stderr")
 	fs.Parse(args)
+	if *parallel < 1 {
+		return fmt.Errorf("analyze: -parallel must be >= 1, got %d", *parallel)
+	}
+	if _, err := os.Stat(*in); err != nil {
+		return fmt.Errorf("analyze: no dataset at %s (run `curtain simulate` first?): %w", *in, err)
+	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
+	// The progress counter wraps every scanner's yield; shard scanners
+	// bump it concurrently, so it is atomic and only the goroutine
+	// crossing a round count prints.
+	var scanned atomic.Int64
+	wrap := func(yield dataset.ScanFunc) dataset.ScanFunc {
+		if !*progress {
+			return yield
+		}
+		return func(e *dataset.Experiment) error {
+			if n := scanned.Add(1); n%1000 == 0 {
+				fmt.Fprintf(os.Stderr, "\ranalyze: scanned %d experiments", n)
+			}
+			return yield(e)
+		}
 	}
-	defer f.Close()
-	ds, err := dataset.ReadJSONL(f)
-	if err != nil {
-		return err
+
+	start := time.Now()
+	var m analysis.Measures
+	if *legacy {
+		var ds dataset.Dataset
+		err := scanInput(*in, wrap(func(e *dataset.Experiment) error {
+			ds.Add(e)
+			return nil
+		}))
+		if err != nil {
+			return err
+		}
+		m = analysis.NewSliceMeasures(&ds, analysis.SuiteConfig{})
+	} else {
+		suite := analysis.NewSuite(analysis.SuiteConfig{})
+		if err := runStreaming(suite, *in, *parallel, wrap); err != nil {
+			return err
+		}
+		m = suite
 	}
-	if ds.Len() == 0 {
+	scanTime := time.Since(start)
+	if *progress {
+		fmt.Fprintf(os.Stderr, "\ranalyze: scanned %d experiments\n", scanned.Load())
+	}
+	if m.ExperimentCount() == 0 {
 		return fmt.Errorf("analyze: %s contains no experiments", *in)
 	}
-	byCarrier := ds.ByCarrier()
-	carriers := make([]string, 0, len(byCarrier))
-	for name := range byCarrier {
-		carriers = append(carriers, name)
+	if *runStats {
+		n := m.ExperimentCount()
+		fmt.Fprintf(os.Stderr, "analyze: %d experiments in %.3fs (%.0f exp/s), peak RSS %.1f MB\n",
+			n, scanTime.Seconds(), float64(n)/scanTime.Seconds(), float64(peakRSSKB())/1024)
 	}
-	sort.Strings(carriers)
-	fmt.Printf("dataset: %d experiments, %d carriers\n\n", ds.Len(), len(carriers))
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	renderAnalysis(os.Stdout, m)
+	return nil
+}
 
-	fmt.Println("LDNS pairs (Table 3)")
+// scanInput streams the input serially: checkpoint segments (tolerating
+// a torn tail) when path is a checkpoint directory, the JSONL file
+// otherwise.
+func scanInput(path string, fn dataset.ScanFunc) error {
+	if dataset.IsCheckpointDir(path) {
+		_, err := dataset.ScanCheckpoint(path, fn)
+		return err
+	}
+	return dataset.ScanFile(path, fn)
+}
+
+// runStreaming drives the suite's engine over the input. JSONL files
+// honor -parallel via contiguous file shards merged in index order —
+// byte-identical to a serial scan; checkpoint directories scan serially.
+func runStreaming(suite *analysis.Suite, in string, parallel int, wrap func(dataset.ScanFunc) dataset.ScanFunc) error {
+	if parallel == 1 || dataset.IsCheckpointDir(in) {
+		return suite.Run(func(yield dataset.ScanFunc) error {
+			return scanInput(in, wrap(yield))
+		})
+	}
+	shards, err := dataset.FileShards(in, parallel)
+	if err != nil {
+		return err
+	}
+	scanners := make([]engine.Scanner, len(shards))
+	for i, s := range shards {
+		s := s
+		scanners[i] = func(yield dataset.ScanFunc) error {
+			return dataset.ScanShard(s, wrap(yield))
+		}
+	}
+	return suite.RunShards(scanners)
+}
+
+// renderAnalysis prints the offline report from any Measures
+// implementation; the streaming and legacy paths share it, which is what
+// makes their outputs byte-identical.
+func renderAnalysis(w io.Writer, m analysis.Measures) {
+	carriers := m.Carriers()
+	fmt.Fprintf(w, "dataset: %d experiments, %d carriers\n\n", m.ExperimentCount(), len(carriers))
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+
+	fmt.Fprintln(w, "LDNS pairs (Table 3)")
 	fmt.Fprintln(tw, "carrier\tclient-facing\texternal\text /24s\tconsistency %")
 	for _, name := range carriers {
-		ps := analysis.LDNSPairStats(byCarrier[name])
+		ps := m.Pairs(name)
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.1f\n",
 			name, ps.ClientFacing, ps.External, ps.ExternalSlash24s, ps.Consistency*100)
 	}
 	tw.Flush()
 
-	fmt.Println("\nresolution medians, ms (Figs 5/6/13; LTE only)")
+	fmt.Fprintln(w, "\nresolution medians, ms (Figs 5/6/13; LTE only)")
 	fmt.Fprintln(tw, "carrier\tlocal p50\tgoogle p50\topendns p50\tlocal p95")
 	for _, name := range carriers {
-		exps := byCarrier[name]
-		l := analysis.ResolutionSample(exps, dataset.KindLocal, "LTE")
-		g := analysis.ResolutionSample(exps, dataset.KindGoogle, "LTE")
-		o := analysis.ResolutionSample(exps, dataset.KindOpenDNS, "LTE")
+		scope := []string{name}
+		l := m.ResolutionSample(scope, dataset.KindLocal, "LTE")
+		g := m.ResolutionSample(scope, dataset.KindGoogle, "LTE")
+		o := m.ResolutionSample(scope, dataset.KindOpenDNS, "LTE")
 		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\n",
 			name, l.Median(), g.Median(), o.Median(), l.Percentile(95))
 	}
 	tw.Flush()
 
-	fmt.Println("\ncache effect (Fig 7; paired back-to-back lookups)")
+	fmt.Fprintln(w, "\ncache effect (Fig 7; paired back-to-back lookups)")
 	fmt.Fprintf(tw, "all carriers\tmiss fraction\t%.2f\n",
-		analysis.PairedMissFraction(ds.Experiments, dataset.KindLocal, 18*time.Millisecond))
+		m.MissFraction(nil, dataset.KindLocal, 18*time.Millisecond))
 	tw.Flush()
 
-	fmt.Println("\nreplica inflation over each user's best, percent (Fig 2)")
+	fmt.Fprintln(w, "\nreplica inflation over each user's best, percent (Fig 2)")
 	fmt.Fprintln(tw, "carrier\tp50\tp90\tfrac>50%")
 	for _, name := range carriers {
-		s := analysis.InflationCDF(byCarrier[name], "")
+		s := m.InflationCDF(name, "")
 		if s.Len() == 0 {
 			continue
 		}
@@ -82,10 +175,10 @@ func runAnalyze(args []string) error {
 	}
 	tw.Flush()
 
-	fmt.Println("\npublic vs local replicas, percent diff (Fig 14; google)")
+	fmt.Fprintln(w, "\npublic vs local replicas, percent diff (Fig 14; google)")
 	fmt.Fprintln(tw, "carrier\tfrac==0\tfrac<=0\tp90")
 	for _, name := range carriers {
-		s := analysis.RelativeReplicaPerf(byCarrier[name], dataset.KindGoogle)
+		s := m.RelativeReplicaPerf(name, dataset.KindGoogle)
 		if s.Len() == 0 {
 			continue
 		}
@@ -94,23 +187,22 @@ func runAnalyze(args []string) error {
 	}
 	tw.Flush()
 
-	fmt.Println("\navailability (resolution outcomes; fault campaigns)")
+	fmt.Fprintln(w, "\navailability (resolution outcomes; fault campaigns)")
 	fmt.Fprintln(tw, "carrier\tlookups\tok %\tservfail %\ttimeout %\tfailover %\tretry amp")
 	for _, name := range carriers {
-		a := analysis.ResolutionAvailability(byCarrier[name], "")
+		a := m.Availability([]string{name}, "")
 		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n",
 			name, a.Total, a.Rate()*100, a.Frac(a.ServFail)*100,
 			a.Frac(a.Timeout)*100, a.Frac(a.FailedOver)*100, a.RetryAmplification())
 	}
 	tw.Flush()
 
-	fmt.Println("\nresolver churn per busiest client (Figs 8/12)")
+	fmt.Fprintln(w, "\nresolver churn per busiest client (Figs 8/12)")
 	fmt.Fprintln(tw, "carrier\tclient\tobs\tlocal IPs\tlocal /24s\tgoogle /24s")
 	for _, name := range carriers {
-		exps := byCarrier[name]
-		id := busiestClient(exps)
-		local := analysis.ResolverTimeline(exps, id, dataset.KindLocal)
-		google := analysis.ResolverTimeline(exps, id, dataset.KindGoogle)
+		id := m.BusiestClient(name)
+		local := m.ResolverTimeline(name, id, dataset.KindLocal)
+		google := m.ResolverTimeline(name, id, dataset.KindGoogle)
 		if len(local) == 0 {
 			continue
 		}
@@ -124,20 +216,31 @@ func runAnalyze(args []string) error {
 			name, id, len(local), ips[len(ips)-1], p24[len(p24)-1], gLast)
 	}
 	tw.Flush()
-	return nil
 }
 
-func busiestClient(exps []*dataset.Experiment) string {
-	counts := map[string]int{}
-	for _, e := range exps {
-		counts[e.ClientID]++
+// peakRSSKB reads the process's peak resident set size (VmHWM) from
+// /proc/self/status; 0 when unavailable (non-Linux).
+func peakRSSKB() int {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
 	}
-	best, bestN := "", -1
-	ids := analysis.ClientIDs(exps)
-	for _, id := range ids {
-		if counts[id] > bestN {
-			best, bestN = id, counts[id]
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
 		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0
+		}
+		return kb
 	}
-	return best
+	return 0
 }

@@ -71,6 +71,16 @@ commands:
   simulate   run a campaign and write the raw dataset as JSONL
   analyze    offline analysis of a JSONL dataset (no simulation)
 
+flags (analyze):
+  -in PATH            JSONL dataset or campaign checkpoint directory
+                      (default dataset.jsonl)
+  -parallel N         concurrent shard scanners over a JSONL file; output
+                      is byte-identical for any N (default 1)
+  -legacy             materialize the dataset and use the slice metric
+                      path instead of the streaming engine (same output)
+  -progress           report scan progress on stderr
+  -stats              report scan time and peak RSS on stderr
+
 flags (report/exp/simulate):
   -seed N             RNG seed (default 2014)
   -days N             campaign length in days (default: full five months)

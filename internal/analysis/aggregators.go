@@ -1,0 +1,885 @@
+package analysis
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"cellcurtain/internal/analysis/engine"
+	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/stats"
+	"cellcurtain/internal/vnet"
+)
+
+// This file ports every slice metric to a streaming engine.Aggregator.
+// Each aggregator holds only reduced state (sets, counters, integer
+// sums, metric samples) — never experiments — so a full analysis run is
+// one dataset pass in memory bounded by metric cardinality, not corpus
+// size. Merge implementations are non-consuming deep merges: the
+// receiver owns all of its containers afterwards and the argument is
+// left untouched, so shard instances stay independently usable.
+
+// kindIndex gives the three resolver kinds dense indices for fixed-size
+// per-observation records.
+func kindIndex(k dataset.ResolverKind) int {
+	switch k {
+	case dataset.KindLocal:
+		return 0
+	case dataset.KindGoogle:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// ---------------------------------------------------------------------
+// countAgg: experiment counting (dataset size, per carrier).
+
+type countAgg struct{ n int }
+
+func (c *countAgg) Observe(*dataset.Experiment)  { c.n++ }
+func (c *countAgg) Merge(other engine.Aggregator) { c.n += other.(*countAgg).n }
+func (c *countAgg) Result() any                   { return c.n }
+
+// ---------------------------------------------------------------------
+// pairsAgg: Table 3 LDNS pair statistics.
+
+type pairGroup struct {
+	client     string
+	configured netip.Addr
+}
+
+type pairsAgg struct {
+	cf     map[netip.Addr]bool
+	ext    map[netip.Addr]bool
+	ext24  map[netip.Prefix]bool
+	groups map[pairGroup]map[netip.Addr]int
+	pairs  map[[2]netip.Addr]int
+}
+
+func newPairsAgg() *pairsAgg {
+	return &pairsAgg{
+		cf:     map[netip.Addr]bool{},
+		ext:    map[netip.Addr]bool{},
+		ext24:  map[netip.Prefix]bool{},
+		groups: map[pairGroup]map[netip.Addr]int{},
+		pairs:  map[[2]netip.Addr]int{},
+	}
+}
+
+func (p *pairsAgg) Observe(e *dataset.Experiment) {
+	external, ok := e.DiscoveredExternal(dataset.KindLocal)
+	if !ok {
+		return
+	}
+	g := pairGroup{e.ClientID, e.Configured}
+	if p.groups[g] == nil {
+		p.groups[g] = map[netip.Addr]int{}
+	}
+	p.groups[g][external]++
+	p.cf[e.Configured] = true
+	p.ext[external] = true
+	p.ext24[vnet.Slash24(external)] = true
+	p.pairs[[2]netip.Addr{e.Configured, external}]++
+}
+
+func (p *pairsAgg) Merge(other engine.Aggregator) {
+	o := other.(*pairsAgg)
+	for a := range o.cf {
+		p.cf[a] = true
+	}
+	for a := range o.ext {
+		p.ext[a] = true
+	}
+	for a := range o.ext24 {
+		p.ext24[a] = true
+	}
+	for g, externals := range o.groups {
+		if p.groups[g] == nil {
+			p.groups[g] = make(map[netip.Addr]int, len(externals))
+		}
+		for a, n := range externals {
+			p.groups[g][a] += n
+		}
+	}
+	for k, n := range o.pairs {
+		p.pairs[k] += n
+	}
+}
+
+func (p *pairsAgg) Result() any { return p.stats() }
+
+func (p *pairsAgg) stats() PairStats {
+	ps := PairStats{
+		ClientFacing:     len(p.cf),
+		External:         len(p.ext),
+		ExternalSlash24s: len(p.ext24),
+		Pairs:            make(map[[2]netip.Addr]int, len(p.pairs)),
+	}
+	for k, n := range p.pairs {
+		ps.Pairs[k] = n
+	}
+	// Integer counts summed through floats: exact in any group order.
+	var weighted, total float64
+	for _, externals := range p.groups {
+		sum, max := 0, 0
+		for _, n := range externals {
+			sum += n
+			if n > max {
+				max = n
+			}
+		}
+		weighted += float64(max)
+		total += float64(sum)
+	}
+	if total > 0 {
+		ps.Consistency = weighted / total
+	}
+	return ps
+}
+
+// ---------------------------------------------------------------------
+// resolutionsAgg: resolution-time samples (Figs 3/5/6/7/13), paired
+// cache differencing (Fig 7) — per (kind, radio) so any filter the
+// figures use is a lookup, not a rescan.
+
+type kindRadio struct {
+	kind  dataset.ResolverKind
+	radio string
+}
+
+type resolutionsAgg struct {
+	first    map[kindRadio]*stats.Sample
+	second   map[kindRadio]*stats.Sample
+	// missDiff holds RTT1-RTT2 (ms) per paired row; the miss fraction at
+	// any threshold is a rank query on it.
+	missDiff map[dataset.ResolverKind]*stats.Sample
+}
+
+func newResolutionsAgg() *resolutionsAgg {
+	return &resolutionsAgg{
+		first:    map[kindRadio]*stats.Sample{},
+		second:   map[kindRadio]*stats.Sample{},
+		missDiff: map[dataset.ResolverKind]*stats.Sample{},
+	}
+}
+
+func (ra *resolutionsAgg) Observe(e *dataset.Experiment) {
+	for _, r := range e.Resolutions {
+		if !r.OK {
+			continue
+		}
+		k := kindRadio{r.Kind, r.Radio}
+		s := ra.first[k]
+		if s == nil {
+			s = &stats.Sample{}
+			ra.first[k] = s
+		}
+		s.AddDuration(r.RTT1)
+		if !secondLookupOK(r) {
+			continue
+		}
+		s2 := ra.second[k]
+		if s2 == nil {
+			s2 = &stats.Sample{}
+			ra.second[k] = s2
+		}
+		s2.AddDuration(r.RTT2)
+		d := ra.missDiff[r.Kind]
+		if d == nil {
+			d = &stats.Sample{}
+			ra.missDiff[r.Kind] = d
+		}
+		d.AddDuration(r.RTT1 - r.RTT2)
+	}
+}
+
+func (ra *resolutionsAgg) Merge(other engine.Aggregator) {
+	o := other.(*resolutionsAgg)
+	mergeKRSamples(ra.first, o.first)
+	mergeKRSamples(ra.second, o.second)
+	for k, s := range o.missDiff {
+		dst := ra.missDiff[k]
+		if dst == nil {
+			dst = &stats.Sample{}
+			ra.missDiff[k] = dst
+		}
+		dst.Merge(s)
+	}
+}
+
+func mergeKRSamples(dst, src map[kindRadio]*stats.Sample) {
+	for k, s := range src {
+		d := dst[k]
+		if d == nil {
+			d = &stats.Sample{}
+			dst[k] = d
+		}
+		d.Merge(s)
+	}
+}
+
+func (ra *resolutionsAgg) Result() any { return ra }
+
+// addFirst merges this aggregator's first-lookup observations for one
+// kind/radio filter ("" radio = all radios, merged in sorted radio
+// order) into out.
+func (ra *resolutionsAgg) addFirst(out *stats.Sample, kind dataset.ResolverKind, radio string) {
+	addKRSample(out, ra.first, kind, radio)
+}
+
+func (ra *resolutionsAgg) addSecond(out *stats.Sample, kind dataset.ResolverKind, radio string) {
+	addKRSample(out, ra.second, kind, radio)
+}
+
+func (ra *resolutionsAgg) addMissDiff(out *stats.Sample, kind dataset.ResolverKind) {
+	if s := ra.missDiff[kind]; s != nil {
+		out.Merge(s)
+	}
+}
+
+func addKRSample(out *stats.Sample, m map[kindRadio]*stats.Sample, kind dataset.ResolverKind, radio string) {
+	if radio != "" {
+		if s := m[kindRadio{kind, radio}]; s != nil {
+			out.Merge(s)
+		}
+		return
+	}
+	radios := make([]string, 0, len(m))
+	for k := range m {
+		if k.kind == kind {
+			radios = append(radios, k.radio)
+		}
+	}
+	sort.Strings(radios)
+	for _, r := range radios {
+		out.Merge(m[kindRadio{kind, r}])
+	}
+}
+
+// radioGroups returns fresh per-radio copies of the local first-lookup
+// samples (Fig 3).
+func (ra *resolutionsAgg) radioGroups() map[string]*stats.Sample {
+	out := map[string]*stats.Sample{}
+	for k, s := range ra.first {
+		if k.kind != dataset.KindLocal {
+			continue
+		}
+		c := &stats.Sample{}
+		c.Merge(s)
+		out[k.radio] = c
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// pingsAgg: resolver ping RTTs and reachability (Figs 4/11).
+
+type pingsAgg struct {
+	samples  map[string]*stats.Sample
+	attempts map[string]int
+	answered map[string]int
+}
+
+func newPingsAgg() *pingsAgg {
+	return &pingsAgg{
+		samples:  map[string]*stats.Sample{},
+		attempts: map[string]int{},
+		answered: map[string]int{},
+	}
+}
+
+func (p *pingsAgg) Observe(e *dataset.Experiment) {
+	for _, pr := range e.ResolverProbes {
+		key := string(pr.Kind) + "/" + pr.Which
+		p.attempts[key]++
+		if pr.OK {
+			p.answered[key]++
+			s := p.samples[key]
+			if s == nil {
+				s = &stats.Sample{}
+				p.samples[key] = s
+			}
+			s.AddDuration(pr.RTT)
+		}
+	}
+}
+
+func (p *pingsAgg) Merge(other engine.Aggregator) {
+	o := other.(*pingsAgg)
+	for k, s := range o.samples {
+		d := p.samples[k]
+		if d == nil {
+			d = &stats.Sample{}
+			p.samples[k] = d
+		}
+		d.Merge(s)
+	}
+	for k, n := range o.attempts {
+		p.attempts[k] += n
+	}
+	for k, n := range o.answered {
+		p.answered[k] += n
+	}
+}
+
+func (p *pingsAgg) Result() any { return p }
+
+func (p *pingsAgg) pings() (map[string]*stats.Sample, map[string]float64) {
+	samples := make(map[string]*stats.Sample, len(p.samples))
+	for k, s := range p.samples {
+		c := &stats.Sample{}
+		c.Merge(s)
+		samples[k] = c
+	}
+	reach := make(map[string]float64, len(p.attempts))
+	for k, n := range p.attempts {
+		reach[k] = float64(p.answered[k]) / float64(n)
+	}
+	return samples, reach
+}
+
+// ---------------------------------------------------------------------
+// inflationAgg: Fig 2 replica TTFB inflation (integer-ns accumulation;
+// see analysis.go's inflationAcc).
+
+type inflationAgg struct {
+	sums map[clientDomain]map[netip.Addr]*inflationAcc
+}
+
+func newInflationAgg() *inflationAgg {
+	return &inflationAgg{sums: map[clientDomain]map[netip.Addr]*inflationAcc{}}
+}
+
+func (ia *inflationAgg) Observe(e *dataset.Experiment) { observeInflation(ia.sums, e) }
+
+func (ia *inflationAgg) Merge(other engine.Aggregator) {
+	o := other.(*inflationAgg)
+	for k, replicas := range o.sums {
+		m := ia.sums[k]
+		if m == nil {
+			m = make(map[netip.Addr]*inflationAcc, len(replicas))
+			ia.sums[k] = m
+		}
+		for addr, acc := range replicas {
+			dst := m[addr]
+			if dst == nil {
+				dst = &inflationAcc{}
+				m[addr] = dst
+			}
+			dst.sumNs += acc.sumNs
+			dst.n += acc.n
+		}
+	}
+}
+
+func (ia *inflationAgg) Result() any { return ia }
+
+func (ia *inflationAgg) sample(domain string) *stats.Sample {
+	return inflationSample(ia.sums, domain)
+}
+
+// ---------------------------------------------------------------------
+// vectorsAgg: per-resolver replica usage vectors (Fig 10), accumulated
+// for every domain so any (domain, minObs) query is served from counts.
+
+type domainExt struct {
+	domain string
+	ext    netip.Addr
+}
+
+type vectorsAgg struct {
+	counts map[domainExt]map[string]float64
+	obs    map[domainExt]int
+}
+
+func newVectorsAgg() *vectorsAgg {
+	return &vectorsAgg{counts: map[domainExt]map[string]float64{}, obs: map[domainExt]int{}}
+}
+
+func (va *vectorsAgg) Observe(e *dataset.Experiment) {
+	ext, ok := e.DiscoveredExternal(dataset.KindLocal)
+	if !ok {
+		return
+	}
+	for _, r := range e.Resolutions {
+		if r.Kind != dataset.KindLocal || !r.OK {
+			continue
+		}
+		k := domainExt{r.Domain, ext}
+		m := va.counts[k]
+		if m == nil {
+			m = map[string]float64{}
+			va.counts[k] = m
+		}
+		va.obs[k]++
+		for _, ip := range r.Answers {
+			m[vnet.Slash24(ip).String()]++
+		}
+	}
+}
+
+func (va *vectorsAgg) Merge(other engine.Aggregator) {
+	o := other.(*vectorsAgg)
+	for k, m := range o.counts {
+		dst := va.counts[k]
+		if dst == nil {
+			dst = make(map[string]float64, len(m))
+			va.counts[k] = dst
+		}
+		for cluster, n := range m {
+			dst[cluster] += n
+		}
+	}
+	for k, n := range o.obs {
+		va.obs[k] += n
+	}
+}
+
+func (va *vectorsAgg) Result() any { return va }
+
+func (va *vectorsAgg) vectors(domain string, minObs int) map[netip.Addr]map[string]float64 {
+	counts := map[netip.Addr]map[string]float64{}
+	obs := map[netip.Addr]int{}
+	for k, m := range va.counts {
+		if k.domain != domain {
+			continue
+		}
+		counts[k.ext] = m
+		obs[k.ext] = va.obs[k]
+	}
+	return normalizeVectors(counts, obs, minObs)
+}
+
+// ---------------------------------------------------------------------
+// externalsAgg: distinct external resolver identities per kind (Table 5).
+
+type externalsAgg struct {
+	ips map[dataset.ResolverKind]map[netip.Addr]bool
+	p24 map[dataset.ResolverKind]map[netip.Prefix]bool
+}
+
+func newExternalsAgg() *externalsAgg {
+	return &externalsAgg{
+		ips: map[dataset.ResolverKind]map[netip.Addr]bool{},
+		p24: map[dataset.ResolverKind]map[netip.Prefix]bool{},
+	}
+}
+
+func (xa *externalsAgg) Observe(e *dataset.Experiment) {
+	for _, kind := range dataset.Kinds() {
+		if ext, ok := e.DiscoveredExternal(kind); ok {
+			if xa.ips[kind] == nil {
+				xa.ips[kind] = map[netip.Addr]bool{}
+				xa.p24[kind] = map[netip.Prefix]bool{}
+			}
+			xa.ips[kind][ext] = true
+			xa.p24[kind][vnet.Slash24(ext)] = true
+		}
+	}
+}
+
+func (xa *externalsAgg) Merge(other engine.Aggregator) {
+	o := other.(*externalsAgg)
+	for kind, set := range o.ips {
+		if xa.ips[kind] == nil {
+			xa.ips[kind] = map[netip.Addr]bool{}
+		}
+		for a := range set {
+			xa.ips[kind][a] = true
+		}
+	}
+	for kind, set := range o.p24 {
+		if xa.p24[kind] == nil {
+			xa.p24[kind] = map[netip.Prefix]bool{}
+		}
+		for p := range set {
+			xa.p24[kind][p] = true
+		}
+	}
+}
+
+func (xa *externalsAgg) Result() any { return xa }
+
+func (xa *externalsAgg) unique(kind dataset.ResolverKind) (ips, slash24s int) {
+	return len(xa.ips[kind]), len(xa.p24[kind])
+}
+
+// ---------------------------------------------------------------------
+// churnAgg: longitudinal per-client resolver observations (Figs 8/9/12).
+// This is the one aggregator whose state grows with the experiment count
+// — one small fixed-size record per experiment, because the longitudinal
+// figures are inherently per-observation series. It still holds ~none of
+// an Experiment's weight (no resolutions, probes or traces).
+
+type churnObs struct {
+	time     time.Time
+	lat, lon float64
+	ext      [3]netip.Addr
+	ok       [3]bool
+}
+
+type churnAgg struct {
+	counts map[string]int
+	obs    map[string][]churnObs
+}
+
+func newChurnAgg() *churnAgg {
+	return &churnAgg{counts: map[string]int{}, obs: map[string][]churnObs{}}
+}
+
+func (ca *churnAgg) Observe(e *dataset.Experiment) {
+	ca.counts[e.ClientID]++
+	var o churnObs
+	o.time = e.Time
+	o.lat, o.lon = e.Lat, e.Lon
+	for _, kind := range dataset.Kinds() {
+		if ext, ok := e.DiscoveredExternal(kind); ok {
+			i := kindIndex(kind)
+			o.ext[i], o.ok[i] = ext, true
+		}
+	}
+	ca.obs[e.ClientID] = append(ca.obs[e.ClientID], o)
+}
+
+func (ca *churnAgg) Merge(other engine.Aggregator) {
+	o := other.(*churnAgg)
+	for id, n := range o.counts {
+		ca.counts[id] += n
+	}
+	for id, obs := range o.obs {
+		ca.obs[id] = append(ca.obs[id], obs...)
+	}
+}
+
+func (ca *churnAgg) Result() any { return ca }
+
+// clientIDs returns the observed clients, sorted.
+func (ca *churnAgg) clientIDs() []string {
+	ids := make([]string, 0, len(ca.counts))
+	for id := range ca.counts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// busiest returns the client with the most experiments; ties break to
+// the lexicographically first id.
+func (ca *churnAgg) busiest() string {
+	best, bestN := "", -1
+	for _, id := range ca.clientIDs() {
+		if ca.counts[id] > bestN {
+			best, bestN = id, ca.counts[id]
+		}
+	}
+	return best
+}
+
+// timeline returns one client's external-resolver observations for a
+// kind, time-sorted like the slice path.
+func (ca *churnAgg) timeline(clientID string, kind dataset.ResolverKind) []TimelinePoint {
+	i := kindIndex(kind)
+	var out []TimelinePoint
+	for _, o := range ca.obs[clientID] {
+		if o.ok[i] {
+			out = append(out, TimelinePoint{Time: o.time, Addr: o.ext[i]})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Time.Before(out[b].Time) })
+	return out
+}
+
+// staticTimeline is timeline restricted to observations within radiusKm
+// of the client's modal location — the aggregator form of StaticOnly
+// followed by ResolverTimeline.
+func (ca *churnAgg) staticTimeline(clientID string, radiusKm float64, kind dataset.ResolverKind) []TimelinePoint {
+	obs := ca.obs[clientID]
+	counts := map[locationCell]int{}
+	for _, o := range obs {
+		counts[cellOf(o.lat, o.lon)]++
+	}
+	centerLat, centerLon := modalCellCenter(counts)
+	i := kindIndex(kind)
+	var out []TimelinePoint
+	for _, o := range obs {
+		if !withinKm(o.lat, o.lon, centerLat, centerLon, radiusKm) {
+			continue
+		}
+		if o.ok[i] {
+			out = append(out, TimelinePoint{Time: o.time, Addr: o.ext[i]})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Time.Before(out[b].Time) })
+	return out
+}
+
+// ---------------------------------------------------------------------
+// egressAgg: §5.2 egress-point extraction. The ownership predicate comes
+// from the carrier the group key names, via the GroupBy key factory.
+
+type egressAgg struct {
+	owns func(netip.Addr) bool
+	pts  map[netip.Addr]int
+}
+
+func newEgressAgg(owns func(netip.Addr) bool) *egressAgg {
+	return &egressAgg{owns: owns, pts: map[netip.Addr]int{}}
+}
+
+func (ea *egressAgg) Observe(e *dataset.Experiment) {
+	if ea.owns == nil {
+		return
+	}
+	hops := e.EgressTrace
+	for i := 0; i+1 < len(hops); i++ {
+		if ea.owns(hops[i]) && !ea.owns(hops[i+1]) {
+			ea.pts[hops[i]]++
+			break
+		}
+	}
+}
+
+func (ea *egressAgg) Merge(other engine.Aggregator) {
+	o := other.(*egressAgg)
+	for a, n := range o.pts {
+		ea.pts[a] += n
+	}
+}
+
+func (ea *egressAgg) Result() any { return ea.points() }
+
+func (ea *egressAgg) points() map[netip.Addr]int {
+	out := make(map[netip.Addr]int, len(ea.pts))
+	for a, n := range ea.pts {
+		out[a] = n
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// availabilityAgg: resolution outcomes (AVAIL report) — per kind, per
+// primary resolver, failure-cost samples, and the campaign timeline.
+
+type costKey struct {
+	kind    dataset.ResolverKind
+	outcome string
+}
+
+type availabilityAgg struct {
+	perKind     map[dataset.ResolverKind]*Availability
+	perResolver map[dataset.ResolverKind]map[netip.Addr]*Availability
+	cost        map[costKey]*stats.Sample
+
+	tlStart, tlEnd time.Time
+	tlBucket       time.Duration
+	timeline       map[dataset.ResolverKind][]AvailabilityBucket
+}
+
+func newAvailabilityAgg(tlStart, tlEnd time.Time, tlBucket time.Duration) *availabilityAgg {
+	return &availabilityAgg{
+		perKind:     map[dataset.ResolverKind]*Availability{},
+		perResolver: map[dataset.ResolverKind]map[netip.Addr]*Availability{},
+		cost:        map[costKey]*stats.Sample{},
+		tlStart:     tlStart,
+		tlEnd:       tlEnd,
+		tlBucket:    tlBucket,
+		timeline:    map[dataset.ResolverKind][]AvailabilityBucket{},
+	}
+}
+
+func (aa *availabilityAgg) kindCounter(kind dataset.ResolverKind) *Availability {
+	a := aa.perKind[kind]
+	if a == nil {
+		a = &Availability{}
+		aa.perKind[kind] = a
+	}
+	return a
+}
+
+func (aa *availabilityAgg) Observe(e *dataset.Experiment) {
+	tlIdx := -1
+	if aa.tlBucket > 0 && !e.Time.Before(aa.tlStart) && e.Time.Before(aa.tlEnd) {
+		tlIdx = int(e.Time.Sub(aa.tlStart) / aa.tlBucket)
+	}
+	for _, r := range e.Resolutions {
+		aa.kindCounter("").observe(r)
+		aa.kindCounter(r.Kind).observe(r)
+
+		byServer := aa.perResolver[r.Kind]
+		if byServer == nil {
+			byServer = map[netip.Addr]*Availability{}
+			aa.perResolver[r.Kind] = byServer
+		}
+		sa := byServer[r.Server]
+		if sa == nil {
+			sa = &Availability{}
+			byServer[r.Server] = sa
+		}
+		sa.observe(r)
+
+		ck := costKey{r.Kind, outcomeOf(r)}
+		switch {
+		case r.Cost > 0:
+			aa.costSample(ck).AddDuration(r.Cost)
+		case r.OK:
+			aa.costSample(ck).AddDuration(r.RTT1)
+		}
+		if tlIdx >= 0 {
+			aa.timelineBuckets(r.Kind)[tlIdx].observe(r)
+			aa.timelineBuckets("")[tlIdx].observe(r)
+		}
+	}
+}
+
+func (aa *availabilityAgg) costSample(ck costKey) *stats.Sample {
+	s := aa.cost[ck]
+	if s == nil {
+		s = &stats.Sample{}
+		aa.cost[ck] = s
+	}
+	return s
+}
+
+func (aa *availabilityAgg) timelineBuckets(kind dataset.ResolverKind) []AvailabilityBucket {
+	tl, ok := aa.timeline[kind]
+	if !ok {
+		tl = newTimelineBuckets(aa.tlStart, aa.tlEnd, aa.tlBucket)
+		aa.timeline[kind] = tl
+	}
+	return tl
+}
+
+func (aa *availabilityAgg) Merge(other engine.Aggregator) {
+	o := other.(*availabilityAgg)
+	for kind, a := range o.perKind {
+		aa.kindCounter(kind).add(*a)
+	}
+	for kind, byServer := range o.perResolver {
+		dst := aa.perResolver[kind]
+		if dst == nil {
+			dst = make(map[netip.Addr]*Availability, len(byServer))
+			aa.perResolver[kind] = dst
+		}
+		for server, a := range byServer {
+			da := dst[server]
+			if da == nil {
+				da = &Availability{}
+				dst[server] = da
+			}
+			da.add(*a)
+		}
+	}
+	for ck, s := range o.cost {
+		d := aa.cost[ck]
+		if d == nil {
+			d = &stats.Sample{}
+			aa.cost[ck] = d
+		}
+		d.Merge(s)
+	}
+	for kind, tl := range o.timeline {
+		dst := aa.timelineBuckets(kind)
+		for i := range tl {
+			if i < len(dst) {
+				dst[i].Availability.add(tl[i].Availability)
+			}
+		}
+	}
+}
+
+func (aa *availabilityAgg) Result() any { return aa }
+
+func (aa *availabilityAgg) availability(kind dataset.ResolverKind) Availability {
+	if a := aa.perKind[kind]; a != nil {
+		return *a
+	}
+	return Availability{}
+}
+
+// addPerResolver folds this carrier's per-resolver counters into dst.
+// kind "" sums each server across kinds, like the slice path's match-all.
+func (aa *availabilityAgg) addPerResolver(dst map[netip.Addr]*Availability, kind dataset.ResolverKind) {
+	kinds := []dataset.ResolverKind{kind}
+	if kind == "" {
+		kinds = dataset.Kinds()
+	}
+	for _, k := range kinds {
+		for server, a := range aa.perResolver[k] {
+			da := dst[server]
+			if da == nil {
+				da = &Availability{}
+				dst[server] = da
+			}
+			da.add(*a)
+		}
+	}
+}
+
+func (aa *availabilityAgg) addCost(out *stats.Sample, kind dataset.ResolverKind, outcome string) {
+	if kind == "" {
+		for _, k := range dataset.Kinds() {
+			if s := aa.cost[costKey{k, outcome}]; s != nil {
+				out.Merge(s)
+			}
+		}
+		return
+	}
+	if s := aa.cost[costKey{kind, outcome}]; s != nil {
+		out.Merge(s)
+	}
+}
+
+// addTimeline folds this carrier's timeline for a kind into dst (sized
+// by the shared window config).
+func (aa *availabilityAgg) addTimeline(dst []AvailabilityBucket, kind dataset.ResolverKind) {
+	for i, b := range aa.timeline[kind] {
+		if i < len(dst) {
+			dst[i].Availability.add(b.Availability)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// relPerfAgg: Fig 14 public-vs-local replica performance. Each
+// experiment's contribution is computed atomically inside Observe via
+// the same helpers as the slice path, so values are bit-identical.
+
+type relPerfAgg struct {
+	samples map[dataset.ResolverKind]*stats.Sample
+}
+
+func newRelPerfAgg() *relPerfAgg {
+	return &relPerfAgg{samples: map[dataset.ResolverKind]*stats.Sample{}}
+}
+
+func (rp *relPerfAgg) Observe(e *dataset.Experiment) {
+	for _, kind := range dataset.Kinds() {
+		s := rp.samples[kind]
+		if s == nil {
+			s = &stats.Sample{}
+			rp.samples[kind] = s
+		}
+		addRelativePerf(e, kind, s)
+	}
+}
+
+func (rp *relPerfAgg) Merge(other engine.Aggregator) {
+	o := other.(*relPerfAgg)
+	for kind, s := range o.samples {
+		d := rp.samples[kind]
+		if d == nil {
+			d = &stats.Sample{}
+			rp.samples[kind] = d
+		}
+		d.Merge(s)
+	}
+}
+
+func (rp *relPerfAgg) Result() any { return rp }
+
+func (rp *relPerfAgg) addSample(out *stats.Sample, kind dataset.ResolverKind) {
+	if s := rp.samples[kind]; s != nil {
+		out.Merge(s)
+	}
+}

@@ -19,22 +19,34 @@ import (
 )
 
 // Cosine computes the cosine similarity of two non-negative weight
-// vectors keyed by string. Empty vectors yield 0.
+// vectors keyed by string. Empty vectors yield 0. Keys are visited in
+// sorted order so the float sums associate identically on every run —
+// map iteration order must never leak into reported similarity bits.
 func Cosine(a, b map[string]float64) float64 {
 	var dot, na, nb float64
-	for k, av := range a {
+	for _, k := range sortedWeightKeys(a) {
+		av := a[k]
 		na += av * av
 		if bv, ok := b[k]; ok {
 			dot += av * bv
 		}
 	}
-	for _, bv := range b {
-		nb += bv * bv
+	for _, k := range sortedWeightKeys(b) {
+		nb += b[k] * b[k]
 	}
 	if na == 0 || nb == 0 {
 		return 0
 	}
 	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func sortedWeightKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // PairStats summarizes one carrier's LDNS pairing behaviour (Table 3).
@@ -215,54 +227,81 @@ func ResolverPings(exps []*dataset.Experiment) (samples map[string]*stats.Sample
 	return samples, reach
 }
 
-// InflationCDF computes Fig 2: for each client and domain, each observed
-// replica's percent increase in mean TTFB over the client's best replica.
-// domain == "" aggregates all domains.
-func InflationCDF(exps []*dataset.Experiment, domain string) *stats.Sample {
-	type key struct {
-		client, domain string
-	}
-	sums := map[key]map[netip.Addr]*[2]float64{} // replica -> {sum_ms, n}
-	for _, e := range exps {
-		for _, rp := range e.ReplicaProbes {
-			if rp.Kind != dataset.KindLocal || !rp.HTTPOK {
-				continue
-			}
-			if domain != "" && rp.Domain != domain {
-				continue
-			}
-			k := key{e.ClientID, rp.Domain}
-			m, ok := sums[k]
-			if !ok {
-				m = map[netip.Addr]*[2]float64{}
-				sums[k] = m
-			}
-			acc, ok := m[rp.Replica]
-			if !ok {
-				acc = &[2]float64{}
-				m[rp.Replica] = acc
-			}
-			acc[0] += float64(rp.TTFB) / float64(time.Millisecond)
-			acc[1]++
-		}
-	}
+// inflationAcc accumulates one replica's TTFB observations. The sum is
+// kept in the integer nanosecond domain so accumulation order — serial,
+// shard-merged, any grouping — can never shift a rounding: the only
+// float operations happen once, at mean time.
+type inflationAcc struct {
+	sumNs int64
+	n     int64
+}
+
+func (a *inflationAcc) meanMs() float64 {
+	return float64(a.sumNs) / float64(time.Millisecond) / float64(a.n)
+}
+
+// clientDomain keys per-(client, domain) replica groups.
+type clientDomain struct {
+	client, domain string
+}
+
+// inflationSample converts accumulated replica groups into the Fig 2
+// sample: each replica's percent increase in mean TTFB over the group's
+// best. domain == "" aggregates all domains.
+func inflationSample(sums map[clientDomain]map[netip.Addr]*inflationAcc, domain string) *stats.Sample {
 	out := &stats.Sample{}
-	for _, replicas := range sums {
+	for k, replicas := range sums {
+		if domain != "" && k.domain != domain {
+			continue
+		}
 		if len(replicas) < 2 {
 			continue // a single replica has no differential
 		}
 		best := math.Inf(1)
 		for _, acc := range replicas {
-			if mean := acc[0] / acc[1]; mean < best {
+			if mean := acc.meanMs(); mean < best {
 				best = mean
 			}
 		}
 		for _, acc := range replicas {
-			mean := acc[0] / acc[1]
+			mean := acc.meanMs()
 			out.Add((mean - best) / best * 100)
 		}
 	}
 	return out
+}
+
+// observeInflation folds one experiment's replica probes into sums.
+func observeInflation(sums map[clientDomain]map[netip.Addr]*inflationAcc, e *dataset.Experiment) {
+	for _, rp := range e.ReplicaProbes {
+		if rp.Kind != dataset.KindLocal || !rp.HTTPOK {
+			continue
+		}
+		k := clientDomain{e.ClientID, rp.Domain}
+		m, ok := sums[k]
+		if !ok {
+			m = map[netip.Addr]*inflationAcc{}
+			sums[k] = m
+		}
+		acc, ok := m[rp.Replica]
+		if !ok {
+			acc = &inflationAcc{}
+			m[rp.Replica] = acc
+		}
+		acc.sumNs += int64(rp.TTFB)
+		acc.n++
+	}
+}
+
+// InflationCDF computes Fig 2: for each client and domain, each observed
+// replica's percent increase in mean TTFB over the client's best replica.
+// domain == "" aggregates all domains.
+func InflationCDF(exps []*dataset.Experiment, domain string) *stats.Sample {
+	sums := map[clientDomain]map[netip.Addr]*inflationAcc{}
+	for _, e := range exps {
+		observeInflation(sums, e)
+	}
+	return inflationSample(sums, domain)
 }
 
 // ReplicaVectors builds, per external resolver address, the replica usage
@@ -294,22 +333,31 @@ func ReplicaVectors(exps []*dataset.Experiment, domain string, minObs int) map[n
 			}
 		}
 	}
-	for ext, n := range obs {
-		if n < minObs {
-			delete(counts, ext)
+	return normalizeVectors(counts, obs, minObs)
+}
+
+// normalizeVectors filters out unconverged resolvers and converts raw
+// cluster counts to ratios — into fresh maps, so the accumulated counts
+// stay valid for further observation (the aggregator path re-derives
+// vectors without re-scanning).
+func normalizeVectors(counts map[netip.Addr]map[string]float64, obs map[netip.Addr]int, minObs int) map[netip.Addr]map[string]float64 {
+	out := make(map[netip.Addr]map[string]float64, len(counts))
+	for ext, m := range counts {
+		if obs[ext] < minObs {
+			continue
 		}
-	}
-	// Normalize to ratios.
-	for _, m := range counts {
+		// The counts are integral, so this sum is exact in any order.
 		var total float64
 		for _, v := range m {
 			total += v
 		}
-		for k := range m {
-			m[k] /= total
+		norm := make(map[string]float64, len(m))
+		for k, v := range m {
+			norm[k] = v / total
 		}
+		out[ext] = norm
 	}
-	return counts
+	return out
 }
 
 // CosineSplit compares every pair of resolver replica vectors, split by
@@ -411,32 +459,60 @@ func ClientIDs(exps []*dataset.Experiment) []string {
 	return out
 }
 
+// locationCell is one rounded location bucket of the modal-location
+// computation.
+type locationCell struct{ lat, lon float64 }
+
+func cellOf(lat, lon float64) locationCell {
+	return locationCell{math.Round(lat * 50), math.Round(lon * 50)}
+}
+
+// modalCellCenter returns the center of the most-observed location cell,
+// with ties broken by ascending (lat, lon) so the choice never depends
+// on map iteration order. An empty count map yields the origin.
+func modalCellCenter(counts map[locationCell]int) (centerLat, centerLon float64) {
+	var modal locationCell
+	best := 0
+	for c, n := range counts {
+		if n > best || (n == best && best > 0 && lessCell(c, modal)) {
+			modal, best = c, n
+		}
+	}
+	return modal.lat / 50, modal.lon / 50
+}
+
+func lessCell(a, b locationCell) bool {
+	if a.lat != b.lat {
+		return a.lat < b.lat
+	}
+	return a.lon < b.lon
+}
+
+// withinKm reports whether (lat, lon) lies within radiusKm of the
+// center, using the same equirectangular approximation as the paper's
+// coarse location handling.
+func withinKm(lat, lon, centerLat, centerLon, radiusKm float64) bool {
+	dLat := (lat - centerLat) * 111.0
+	dLon := (lon - centerLon) * 111.0 * math.Cos(centerLat*math.Pi/180)
+	return math.Sqrt(dLat*dLat+dLon*dLon) <= radiusKm
+}
+
 // StaticOnly filters a client's experiments to those within radiusKm of
 // the client's modal location (the Fig 9 "static location" filter).
 func StaticOnly(exps []*dataset.Experiment, clientID string, radiusKm float64) []*dataset.Experiment {
 	var own []*dataset.Experiment
-	type cell struct{ lat, lon float64 }
-	counts := map[cell]int{}
+	counts := map[locationCell]int{}
 	for _, e := range exps {
 		if e.ClientID != clientID {
 			continue
 		}
 		own = append(own, e)
-		counts[cell{math.Round(e.Lat * 50), math.Round(e.Lon * 50)}]++
+		counts[cellOf(e.Lat, e.Lon)]++
 	}
-	var modal cell
-	best := 0
-	for c, n := range counts {
-		if n > best {
-			modal, best = c, n
-		}
-	}
-	centerLat, centerLon := modal.lat/50, modal.lon/50
+	centerLat, centerLon := modalCellCenter(counts)
 	var out []*dataset.Experiment
 	for _, e := range own {
-		dLat := (e.Lat - centerLat) * 111.0
-		dLon := (e.Lon - centerLon) * 111.0 * math.Cos(centerLat*math.Pi/180)
-		if math.Sqrt(dLat*dLat+dLon*dLon) <= radiusKm {
+		if withinKm(e.Lat, e.Lon, centerLat, centerLon, radiusKm) {
 			out = append(out, e)
 		}
 	}
@@ -467,43 +543,58 @@ func EgressPoints(exps []*dataset.Experiment, owns func(netip.Addr) bool) map[ne
 func RelativeReplicaPerf(exps []*dataset.Experiment, kind dataset.ResolverKind) *stats.Sample {
 	out := &stats.Sample{}
 	for _, e := range exps {
-		perf := map[dataset.ResolverKind]map[string]map[netip.Prefix][2]float64{}
-		for _, rp := range e.ReplicaProbes {
-			if !rp.HTTPOK {
-				continue
-			}
-			if perf[rp.Kind] == nil {
-				perf[rp.Kind] = map[string]map[netip.Prefix][2]float64{}
-			}
-			byDomain := perf[rp.Kind]
-			if byDomain[rp.Domain] == nil {
-				byDomain[rp.Domain] = map[netip.Prefix][2]float64{}
-			}
-			p := vnet.Slash24(rp.Replica)
-			acc := byDomain[rp.Domain][p]
-			acc[0] += float64(rp.TTFB) / float64(time.Millisecond)
-			acc[1]++
-			byDomain[rp.Domain][p] = acc
-		}
-		local := perf[dataset.KindLocal]
-		pub := perf[kind]
-		for domain, localSets := range local {
-			pubSets, ok := pub[domain]
-			if !ok || len(localSets) == 0 || len(pubSets) == 0 {
-				continue
-			}
-			if samePrefixSets(localSets, pubSets) {
-				out.Add(0)
-				continue
-			}
-			lm := meanOf(localSets)
-			pm := meanOf(pubSets)
-			if lm > 0 {
-				out.Add((pm - lm) / lm * 100)
-			}
-		}
+		addRelativePerf(e, kind, out)
 	}
 	return out
+}
+
+// addRelativePerf appends one experiment's Fig 14 comparisons to out.
+// Every float in the computation stays within the experiment, so the
+// streamed values are bit-identical to the slice path regardless of how
+// experiments are sharded. Domains are visited in sorted order because
+// the appended values are order-sensitive in the raw sample.
+func addRelativePerf(e *dataset.Experiment, kind dataset.ResolverKind, out *stats.Sample) {
+	perf := map[dataset.ResolverKind]map[string]map[netip.Prefix][2]float64{}
+	for _, rp := range e.ReplicaProbes {
+		if !rp.HTTPOK {
+			continue
+		}
+		if perf[rp.Kind] == nil {
+			perf[rp.Kind] = map[string]map[netip.Prefix][2]float64{}
+		}
+		byDomain := perf[rp.Kind]
+		if byDomain[rp.Domain] == nil {
+			byDomain[rp.Domain] = map[netip.Prefix][2]float64{}
+		}
+		p := vnet.Slash24(rp.Replica)
+		acc := byDomain[rp.Domain][p]
+		acc[0] += float64(rp.TTFB) / float64(time.Millisecond)
+		acc[1]++
+		byDomain[rp.Domain][p] = acc
+	}
+	local := perf[dataset.KindLocal]
+	pub := perf[kind]
+	domains := make([]string, 0, len(local))
+	for domain := range local {
+		domains = append(domains, domain)
+	}
+	sort.Strings(domains)
+	for _, domain := range domains {
+		localSets := local[domain]
+		pubSets, ok := pub[domain]
+		if !ok || len(localSets) == 0 || len(pubSets) == 0 {
+			continue
+		}
+		if samePrefixSets(localSets, pubSets) {
+			out.Add(0)
+			continue
+		}
+		lm := meanOf(localSets)
+		pm := meanOf(pubSets)
+		if lm > 0 {
+			out.Add((pm - lm) / lm * 100)
+		}
+	}
 }
 
 func samePrefixSets(a, b map[netip.Prefix][2]float64) bool {
@@ -519,8 +610,16 @@ func samePrefixSets(a, b map[netip.Prefix][2]float64) bool {
 }
 
 func meanOf(sets map[netip.Prefix][2]float64) float64 {
+	// Sorted prefixes: the TTFB sums are fractional, so association order
+	// must be fixed or the reported mean wobbles across runs.
+	ps := make([]netip.Prefix, 0, len(sets))
+	for p := range sets {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Addr().Less(ps[j].Addr()) })
 	var sum, n float64
-	for _, acc := range sets {
+	for _, p := range ps {
+		acc := sets[p]
 		sum += acc[0]
 		n += acc[1]
 	}

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"net/netip"
-	"sort"
 	"time"
 
 	"cellcurtain/internal/dataset"
@@ -139,18 +138,7 @@ func PerResolverAvailability(exps []*dataset.Experiment, kind dataset.ResolverKi
 			a.observe(r)
 		}
 	}
-	out := make([]ResolverAvailability, 0, len(byServer))
-	for server, a := range byServer {
-		out = append(out, ResolverAvailability{Server: server, Availability: *a})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		ri, rj := out[i].Rate(), out[j].Rate()
-		if ri != rj {
-			return ri < rj
-		}
-		return out[i].Server.Less(out[j].Server)
-	})
-	return out
+	return sortResolverAvailability(byServer)
 }
 
 // AvailabilityBucket is one time bucket of an availability timeline.
@@ -163,13 +151,9 @@ type AvailabilityBucket struct {
 // from start to end; an injected outage window shows up as a dip in the
 // affected buckets. Buckets with no observations stay at Total == 0.
 func AvailabilityTimeline(exps []*dataset.Experiment, kind dataset.ResolverKind, start, end time.Time, bucket time.Duration) []AvailabilityBucket {
-	if bucket <= 0 || !end.After(start) {
+	out := newTimelineBuckets(start, end, bucket)
+	if out == nil {
 		return nil
-	}
-	n := int((end.Sub(start) + bucket - 1) / bucket)
-	out := make([]AvailabilityBucket, n)
-	for i := range out {
-		out[i].Start = start.Add(time.Duration(i) * bucket)
 	}
 	for _, e := range exps {
 		if e.Time.Before(start) || !e.Time.Before(end) {
@@ -183,6 +167,34 @@ func AvailabilityTimeline(exps []*dataset.Experiment, kind dataset.ResolverKind,
 		}
 	}
 	return out
+}
+
+// newTimelineBuckets lays out the fixed windows of an availability
+// timeline; nil when the window or bucket size is degenerate.
+func newTimelineBuckets(start, end time.Time, bucket time.Duration) []AvailabilityBucket {
+	if bucket <= 0 || !end.After(start) {
+		return nil
+	}
+	n := int((end.Sub(start) + bucket - 1) / bucket)
+	out := make([]AvailabilityBucket, n)
+	for i := range out {
+		out[i].Start = start.Add(time.Duration(i) * bucket)
+	}
+	return out
+}
+
+// add folds another availability's counters into the receiver — the
+// shard/scope reduction step; counters are exact so order never matters.
+func (a *Availability) add(b Availability) {
+	a.Total += b.Total
+	a.OK += b.OK
+	a.NXDomain += b.NXDomain
+	a.ServFail += b.ServFail
+	a.Refused += b.Refused
+	a.Timeout += b.Timeout
+	a.Errors += b.Errors
+	a.FailedOver += b.FailedOver
+	a.Attempts += b.Attempts
 }
 
 // OutcomeCostSample collects the total lookup cost (ms — every attempt

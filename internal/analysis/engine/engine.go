@@ -1,0 +1,264 @@
+// Package engine is the streaming aggregation core of offline analysis:
+// a set of composable aggregators driven over a dataset in one pass,
+// serially or shard-parallel, with deterministic results either way.
+//
+// The contract that makes shard parallelism byte-identical to a serial
+// pass: shards are contiguous ranges of the dataset in its canonical
+// (seq) order, each shard feeds its own aggregator instances, and the
+// per-shard instances are merged in shard index order. An aggregator
+// whose Merge appends other's observations after its own therefore sees
+// exactly the serial observation order. Counter-valued aggregators are
+// order-free by construction.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cellcurtain/internal/dataset"
+)
+
+// Aggregator consumes experiments one at a time and reduces them to a
+// result. Implementations must support Merge for shard-parallel runs:
+// Merge(other) folds another instance of the same concrete type into the
+// receiver without modifying or aliasing other — after the call the
+// receiver owns only containers it allocated itself, so either side can
+// keep accumulating independently.
+type Aggregator interface {
+	Observe(e *dataset.Experiment)
+	// Merge folds other (always the same concrete type, built by the same
+	// factory) into the receiver. Called in shard index order.
+	Merge(other Aggregator)
+	// Result returns the aggregate. It must not mutate the aggregator's
+	// accumulated state: results are re-derivable and Observe may continue
+	// after a Result call.
+	Result() any
+}
+
+// Scanner feeds experiments to a yield function — the engine's source
+// abstraction over JSONL files, checkpoint segments and in-memory
+// slices. The scan stops (and returns the yield error) as soon as yield
+// fails.
+type Scanner func(yield dataset.ScanFunc) error
+
+// SliceScanner adapts an in-memory experiment slice to a Scanner.
+func SliceScanner(exps []*dataset.Experiment) Scanner {
+	return func(yield dataset.ScanFunc) error {
+		for _, e := range exps {
+			if err := yield(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Engine fans each experiment out to every registered aggregator, so any
+// number of metrics costs exactly one dataset pass.
+type Engine struct {
+	names     []string
+	factories map[string]func() Aggregator
+	aggs      map[string]Aggregator
+	passes    int
+	observed  int
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{factories: map[string]func() Aggregator{}}
+}
+
+// Register adds a named aggregator factory. All registration must happen
+// before the first Run/Observe. Registering a duplicate name panics:
+// names are compile-time wiring, not runtime input.
+func (en *Engine) Register(name string, factory func() Aggregator) {
+	if _, dup := en.factories[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate aggregator %q", name))
+	}
+	if en.aggs != nil {
+		panic(fmt.Sprintf("engine: Register(%q) after the engine started", name))
+	}
+	en.names = append(en.names, name)
+	en.factories[name] = factory
+}
+
+// build instantiates one full aggregator set.
+func (en *Engine) build() map[string]Aggregator {
+	set := make(map[string]Aggregator, len(en.names))
+	for _, name := range en.names {
+		set[name] = en.factories[name]()
+	}
+	return set
+}
+
+// start lazily instantiates the engine's own aggregator set (direct-feed
+// and serial-run mode share it) and counts the pass.
+func (en *Engine) start() {
+	if en.aggs == nil {
+		en.aggs = en.build()
+	}
+	en.passes++
+}
+
+// Observe feeds one experiment to every aggregator — the direct-feed
+// mode a running campaign streams into without materializing a dataset.
+// The first Observe after construction counts as one pass.
+func (en *Engine) Observe(e *dataset.Experiment) {
+	if en.aggs == nil {
+		en.start()
+	}
+	en.observed++
+	for _, name := range en.names {
+		en.aggs[name].Observe(e)
+	}
+}
+
+// Run drives every aggregator over one serial scan.
+func (en *Engine) Run(scan Scanner) error {
+	en.start()
+	return scan(func(e *dataset.Experiment) error {
+		en.observed++
+		for _, name := range en.names {
+			en.aggs[name].Observe(e)
+		}
+		return nil
+	})
+}
+
+// RunShards drives the scanners concurrently, each over its own
+// aggregator instance set, then merges the per-shard sets in shard index
+// order. With shards covering contiguous dataset ranges in order, the
+// merged result is identical to a serial Run — and the whole sweep still
+// counts as one dataset pass.
+func (en *Engine) RunShards(shards []Scanner) error {
+	if len(shards) == 1 {
+		return en.Run(shards[0])
+	}
+	sets := make([]map[string]Aggregator, len(shards))
+	errs := make([]error, len(shards))
+	counts := make([]int, len(shards))
+	var wg sync.WaitGroup
+	for i, scan := range shards {
+		sets[i] = en.build()
+		wg.Add(1)
+		go func(i int, scan Scanner, set map[string]Aggregator) {
+			defer wg.Done()
+			errs[i] = scan(func(e *dataset.Experiment) error {
+				counts[i]++
+				for _, name := range en.names {
+					set[name].Observe(e)
+				}
+				return nil
+			})
+		}(i, scan, sets[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	en.start()
+	for i, set := range sets {
+		en.observed += counts[i]
+		for _, name := range en.names {
+			en.aggs[name].Merge(set[name])
+		}
+	}
+	return nil
+}
+
+// Agg returns a named aggregator after the engine started, for callers
+// that need the concrete type rather than the opaque Result. It panics
+// on an unknown name or an unstarted engine — both wiring bugs.
+func (en *Engine) Agg(name string) Aggregator {
+	if en.aggs == nil {
+		panic("engine: Agg before any Run/Observe")
+	}
+	a, ok := en.aggs[name]
+	if !ok {
+		panic(fmt.Sprintf("engine: unknown aggregator %q", name))
+	}
+	return a
+}
+
+// Result returns a named aggregator's result.
+func (en *Engine) Result(name string) any { return en.Agg(name).Result() }
+
+// Passes returns how many dataset passes the engine has made — the
+// one-pass guarantee's probe. A RunShards sweep counts as one pass.
+func (en *Engine) Passes() int { return en.passes }
+
+// Observed returns how many experiments the engine has consumed in
+// total, across all passes.
+func (en *Engine) Observed() int { return en.observed }
+
+// GroupKey derives an experiment's group label for GroupBy.
+type GroupKey func(*dataset.Experiment) string
+
+// Grouped partitions a stream into per-key child aggregators, created on
+// first sight of a key by a factory that receives the key (so a child
+// can close over key-derived context, e.g. a carrier's address
+// predicate).
+type Grouped struct {
+	key    GroupKey
+	makeFn func(key string) Aggregator
+	groups map[string]Aggregator
+}
+
+// GroupBy builds a Grouped aggregator.
+func GroupBy(key GroupKey, makeFn func(key string) Aggregator) *Grouped {
+	return &Grouped{key: key, makeFn: makeFn, groups: map[string]Aggregator{}}
+}
+
+// Observe routes the experiment to its key's child.
+func (g *Grouped) Observe(e *dataset.Experiment) {
+	k := g.key(e)
+	child, ok := g.groups[k]
+	if !ok {
+		child = g.makeFn(k)
+		g.groups[k] = child
+	}
+	child.Observe(e)
+}
+
+// Merge folds other's children into the receiver's, visiting keys in
+// sorted order. A key the receiver has not seen gets a fresh child from
+// the factory so the receiver never aliases other's state.
+func (g *Grouped) Merge(other Aggregator) {
+	o := other.(*Grouped)
+	for _, k := range sortedKeys(o.groups) {
+		child, ok := g.groups[k]
+		if !ok {
+			child = g.makeFn(k)
+			g.groups[k] = child
+		}
+		child.Merge(o.groups[k])
+	}
+}
+
+// Result returns each group's result keyed by group.
+func (g *Grouped) Result() any {
+	out := make(map[string]any, len(g.groups))
+	for k, child := range g.groups {
+		out[k] = child.Result()
+	}
+	return out
+}
+
+// Keys returns the observed group keys, sorted.
+func (g *Grouped) Keys() []string { return sortedKeys(g.groups) }
+
+// Group returns one key's child aggregator, or nil if the key was never
+// observed.
+func (g *Grouped) Group(key string) Aggregator { return g.groups[key] }
+
+func sortedKeys(m map[string]Aggregator) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

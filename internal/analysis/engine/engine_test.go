@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"cellcurtain/internal/dataset"
+)
+
+// countAgg counts experiments and records observation order — enough to
+// verify fan-out, merge order and pass accounting.
+type countAgg struct {
+	n    int
+	seqs []int
+}
+
+func (c *countAgg) Observe(e *dataset.Experiment) {
+	c.n++
+	c.seqs = append(c.seqs, e.Seq)
+}
+
+func (c *countAgg) Merge(other Aggregator) {
+	o := other.(*countAgg)
+	c.n += o.n
+	c.seqs = append(c.seqs, o.seqs...)
+}
+
+func (c *countAgg) Result() any { return c.n }
+
+func exps(n int) []*dataset.Experiment {
+	out := make([]*dataset.Experiment, n)
+	carriers := []string{"att", "verizon", "sprint"}
+	for i := range out {
+		out[i] = &dataset.Experiment{Seq: i + 1, Carrier: carriers[i%len(carriers)], ClientID: fmt.Sprintf("c%02d", i%7)}
+	}
+	return out
+}
+
+func TestEngineFanOut(t *testing.T) {
+	en := New()
+	en.Register("a", func() Aggregator { return &countAgg{} })
+	en.Register("b", func() Aggregator { return &countAgg{} })
+	if err := en.Run(SliceScanner(exps(10))); err != nil {
+		t.Fatal(err)
+	}
+	if got := en.Result("a").(int); got != 10 {
+		t.Fatalf("aggregator a saw %d, want 10", got)
+	}
+	if got := en.Result("b").(int); got != 10 {
+		t.Fatalf("aggregator b saw %d, want 10", got)
+	}
+	if en.Passes() != 1 {
+		t.Fatalf("passes = %d, want 1", en.Passes())
+	}
+	if en.Observed() != 10 {
+		t.Fatalf("observed = %d, want 10", en.Observed())
+	}
+}
+
+func TestEngineRunShardsMergeOrder(t *testing.T) {
+	all := exps(25)
+	// Contiguous shard ranges, like FileShards produces.
+	var shards []Scanner
+	for _, r := range [][2]int{{0, 7}, {7, 13}, {13, 25}} {
+		shards = append(shards, SliceScanner(all[r[0]:r[1]]))
+	}
+	en := New()
+	en.Register("c", func() Aggregator { return &countAgg{} })
+	if err := en.RunShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	if en.Passes() != 1 {
+		t.Fatalf("sharded sweep must count as one pass, got %d", en.Passes())
+	}
+	c := en.Agg("c").(*countAgg)
+	if c.n != 25 {
+		t.Fatalf("merged count = %d, want 25", c.n)
+	}
+	for i, s := range c.seqs {
+		if s != i+1 {
+			t.Fatalf("merge broke serial order at %d: seq %d", i, s)
+		}
+	}
+}
+
+func TestEngineDirectFeed(t *testing.T) {
+	en := New()
+	en.Register("c", func() Aggregator { return &countAgg{} })
+	for _, e := range exps(5) {
+		en.Observe(e)
+	}
+	if en.Passes() != 1 {
+		t.Fatalf("direct feed must count one pass, got %d", en.Passes())
+	}
+	if got := en.Result("c").(int); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+}
+
+func TestEngineDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register must panic")
+		}
+	}()
+	en := New()
+	en.Register("x", func() Aggregator { return &countAgg{} })
+	en.Register("x", func() Aggregator { return &countAgg{} })
+}
+
+func TestEngineScanErrorPropagates(t *testing.T) {
+	en := New()
+	en.Register("c", func() Aggregator { return &countAgg{} })
+	boom := fmt.Errorf("scan failed")
+	err := en.Run(func(yield dataset.ScanFunc) error { return boom })
+	if err != boom {
+		t.Fatalf("err = %v, want scan error", err)
+	}
+}
+
+func TestGroupByRouting(t *testing.T) {
+	g := GroupBy(
+		func(e *dataset.Experiment) string { return e.Carrier },
+		func(key string) Aggregator { return &countAgg{} },
+	)
+	for _, e := range exps(9) {
+		g.Observe(e)
+	}
+	keys := g.Keys()
+	want := []string{"att", "sprint", "verizon"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i, k := range want {
+		if keys[i] != k {
+			t.Fatalf("keys not sorted: %v", keys)
+		}
+	}
+	if got := g.Group("att").(*countAgg).n; got != 3 {
+		t.Fatalf("att count = %d, want 3", got)
+	}
+	if g.Group("tmobile") != nil {
+		t.Fatal("unseen key must return nil")
+	}
+}
+
+func TestGroupByMergeNoAliasing(t *testing.T) {
+	mk := func() *Grouped {
+		return GroupBy(
+			func(e *dataset.Experiment) string { return e.Carrier },
+			func(key string) Aggregator { return &countAgg{} },
+		)
+	}
+	all := exps(12)
+	a, b := mk(), mk()
+	for _, e := range all[:6] {
+		a.Observe(e)
+	}
+	for _, e := range all[6:] {
+		b.Observe(e)
+	}
+	a.Merge(b)
+	total := 0
+	for _, k := range a.Keys() {
+		total += a.Group(k).(*countAgg).n
+	}
+	if total != 12 {
+		t.Fatalf("merged total = %d, want 12", total)
+	}
+	// b keeps accumulating independently: the merge must not have adopted
+	// b's children.
+	before := b.Group("att").(*countAgg).n
+	b.Observe(&dataset.Experiment{Seq: 99, Carrier: "att"})
+	if got := b.Group("att").(*countAgg).n; got != before+1 {
+		t.Fatalf("b att count = %d, want %d", got, before+1)
+	}
+	aAtt := a.Group("att").(*countAgg).n
+	b.Observe(&dataset.Experiment{Seq: 100, Carrier: "att"})
+	if a.Group("att").(*countAgg).n != aAtt {
+		t.Fatal("merge aliased b's child into a")
+	}
+}
+
+func TestGroupByShardEquivalence(t *testing.T) {
+	all := exps(31)
+	serial := GroupBy(
+		func(e *dataset.Experiment) string { return e.Carrier },
+		func(key string) Aggregator { return &countAgg{} },
+	)
+	for _, e := range all {
+		serial.Observe(e)
+	}
+	for _, cut := range []int{1, 10, 30} {
+		a := GroupBy(
+			func(e *dataset.Experiment) string { return e.Carrier },
+			func(key string) Aggregator { return &countAgg{} },
+		)
+		b := GroupBy(
+			func(e *dataset.Experiment) string { return e.Carrier },
+			func(key string) Aggregator { return &countAgg{} },
+		)
+		for _, e := range all[:cut] {
+			a.Observe(e)
+		}
+		for _, e := range all[cut:] {
+			b.Observe(e)
+		}
+		a.Merge(b)
+		if got, want := fmt.Sprint(a.Keys()), fmt.Sprint(serial.Keys()); got != want {
+			t.Fatalf("cut %d: keys %s != %s", cut, got, want)
+		}
+		for _, k := range serial.Keys() {
+			ss := serial.Group(k).(*countAgg).seqs
+			ms := a.Group(k).(*countAgg).seqs
+			if !sort.IntsAreSorted(ms) || len(ms) != len(ss) {
+				t.Fatalf("cut %d key %s: merged seqs %v vs serial %v", cut, k, ms, ss)
+			}
+			for i := range ss {
+				if ss[i] != ms[i] {
+					t.Fatalf("cut %d key %s: order differs at %d", cut, k, i)
+				}
+			}
+		}
+	}
+}

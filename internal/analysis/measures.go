@@ -1,0 +1,511 @@
+package analysis
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"cellcurtain/internal/analysis/engine"
+	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/stats"
+)
+
+// Measures is every metric the reproduction harnesses and the analyze
+// CLI consume, behind one interface so the streaming engine path and the
+// legacy slice path are interchangeable — and comparable byte-for-byte.
+//
+// Scope semantics: metrics taking a scope list merge the named carriers
+// in the given order; a nil/empty scope means all carriers, in sorted
+// order. Metrics taking a single carrier answer for that carrier only.
+// Every returned sample is a fresh copy the caller may keep querying.
+type Measures interface {
+	// ExperimentCount is the number of experiments observed.
+	ExperimentCount() int
+	// Carriers lists the carriers present in the data, sorted.
+	Carriers() []string
+	// ClientIDs lists one carrier's distinct clients, sorted.
+	ClientIDs(carrier string) []string
+	// BusiestClient is the carrier's client with the most experiments
+	// (ties to the lexicographically first id); "" when none.
+	BusiestClient(carrier string) string
+	// Pairs derives Table 3's LDNS pairing stats for one carrier.
+	Pairs(carrier string) PairStats
+	// ResolutionSample collects first-lookup times (ms) for a kind,
+	// optionally filtered by radio ("" = all).
+	ResolutionSample(scope []string, kind dataset.ResolverKind, radio string) *stats.Sample
+	// SecondLookupSample collects immediate re-lookup times (ms).
+	SecondLookupSample(scope []string, kind dataset.ResolverKind, radio string) *stats.Sample
+	// MissFraction is the paired-differencing cache-miss estimate (§4.3);
+	// NaN when no usable pairs exist.
+	MissFraction(scope []string, kind dataset.ResolverKind, threshold time.Duration) float64
+	// RadioGroups splits one carrier's local resolution times by radio.
+	RadioGroups(carrier string) map[string]*stats.Sample
+	// ResolverPings returns one carrier's "<kind>/<which>" ping samples
+	// and answer rates.
+	ResolverPings(carrier string) (samples map[string]*stats.Sample, reach map[string]float64)
+	// InflationCDF is Fig 2's replica TTFB inflation sample ("" = all
+	// domains).
+	InflationCDF(carrier, domain string) *stats.Sample
+	// ReplicaVectors is Fig 10's per-resolver replica usage vectors.
+	ReplicaVectors(carrier, domain string, minObs int) map[netip.Addr]map[string]float64
+	// UniqueExternals counts distinct external resolver identities.
+	UniqueExternals(carrier string, kind dataset.ResolverKind) (ips, slash24s int)
+	// ResolverTimeline is one client's external-resolver history.
+	ResolverTimeline(carrier, clientID string, kind dataset.ResolverKind) []TimelinePoint
+	// StaticTimeline is ResolverTimeline restricted to observations near
+	// the client's modal location (Fig 9).
+	StaticTimeline(carrier, clientID string, radiusKm float64, kind dataset.ResolverKind) []TimelinePoint
+	// EgressPoints extracts §5.2 egress points for one carrier.
+	EgressPoints(carrier string) map[netip.Addr]int
+	// Availability aggregates resolution outcomes for a kind ("" = all).
+	Availability(scope []string, kind dataset.ResolverKind) Availability
+	// PerResolverAvailability groups all carriers' resolutions by primary
+	// server, worst success rate first.
+	PerResolverAvailability(kind dataset.ResolverKind) []ResolverAvailability
+	// AvailabilityTimeline buckets all carriers' resolutions over the
+	// configured campaign window.
+	AvailabilityTimeline(kind dataset.ResolverKind) []AvailabilityBucket
+	// OutcomeCostSample is the lookup-cost sample of resolutions ending
+	// in one outcome, over all carriers.
+	OutcomeCostSample(kind dataset.ResolverKind, outcome string) *stats.Sample
+	// RelativeReplicaPerf is Fig 14's percent TTFB difference sample.
+	RelativeReplicaPerf(carrier string, kind dataset.ResolverKind) *stats.Sample
+}
+
+// SuiteConfig parameterizes metrics that need campaign context beyond
+// the experiment records themselves.
+type SuiteConfig struct {
+	// Owns returns a carrier's address-ownership predicate (egress
+	// extraction); nil disables EgressPoints.
+	Owns func(carrier string) func(netip.Addr) bool
+	// TimelineStart/End/Bucket lay out the AvailabilityTimeline windows.
+	TimelineStart  time.Time
+	TimelineEnd    time.Time
+	TimelineBucket time.Duration
+}
+
+// Registered aggregator names on a Suite's engine.
+const (
+	aggCount        = "count"
+	aggPairs        = "pairs"
+	aggResolutions  = "resolutions"
+	aggPings        = "pings"
+	aggInflation    = "inflation"
+	aggVectors      = "vectors"
+	aggExternals    = "externals"
+	aggChurn        = "churn"
+	aggEgress       = "egress"
+	aggAvailability = "availability"
+	aggRelPerf      = "relperf"
+)
+
+// Suite is the streaming Measures implementation: one engine pass over
+// the experiments feeds every registered aggregator, and the metric
+// methods answer from reduced state without touching the dataset again.
+type Suite struct {
+	cfg SuiteConfig
+	en  *engine.Engine
+}
+
+// NewSuite builds a Suite with every metric aggregator registered,
+// grouped by carrier. Drive it with Run/RunShards/Observe, then query.
+func NewSuite(cfg SuiteConfig) *Suite {
+	s := &Suite{cfg: cfg, en: engine.New()}
+	byCarrier := func(name string, mk func(key string) engine.Aggregator) {
+		s.en.Register(name, func() engine.Aggregator {
+			return engine.GroupBy(func(e *dataset.Experiment) string { return e.Carrier }, mk)
+		})
+	}
+	byCarrier(aggCount, func(string) engine.Aggregator { return &countAgg{} })
+	byCarrier(aggPairs, func(string) engine.Aggregator { return newPairsAgg() })
+	byCarrier(aggResolutions, func(string) engine.Aggregator { return newResolutionsAgg() })
+	byCarrier(aggPings, func(string) engine.Aggregator { return newPingsAgg() })
+	byCarrier(aggInflation, func(string) engine.Aggregator { return newInflationAgg() })
+	byCarrier(aggVectors, func(string) engine.Aggregator { return newVectorsAgg() })
+	byCarrier(aggExternals, func(string) engine.Aggregator { return newExternalsAgg() })
+	byCarrier(aggChurn, func(string) engine.Aggregator { return newChurnAgg() })
+	byCarrier(aggEgress, func(key string) engine.Aggregator {
+		if cfg.Owns == nil {
+			return newEgressAgg(nil)
+		}
+		return newEgressAgg(cfg.Owns(key))
+	})
+	byCarrier(aggAvailability, func(string) engine.Aggregator {
+		return newAvailabilityAgg(cfg.TimelineStart, cfg.TimelineEnd, cfg.TimelineBucket)
+	})
+	byCarrier(aggRelPerf, func(string) engine.Aggregator { return newRelPerfAgg() })
+	return s
+}
+
+// Engine exposes the underlying engine (for Run/RunShards/Observe and
+// pass accounting).
+func (s *Suite) Engine() *engine.Engine { return s.en }
+
+// Run streams every experiment the scanner yields through all
+// aggregators — the one pass.
+func (s *Suite) Run(scan engine.Scanner) error { return s.en.Run(scan) }
+
+// RunShards runs one scanner per shard concurrently and merges in shard
+// order; with contiguous shards the result is identical to Run.
+func (s *Suite) RunShards(shards []engine.Scanner) error { return s.en.RunShards(shards) }
+
+// Observe feeds one experiment directly (streaming collection).
+func (s *Suite) Observe(e *dataset.Experiment) { s.en.Observe(e) }
+
+func (s *Suite) grouped(name string) *engine.Grouped {
+	return s.en.Agg(name).(*engine.Grouped)
+}
+
+// group returns one carrier's aggregator, or nil if the carrier was
+// never observed.
+func (s *Suite) group(name, carrier string) engine.Aggregator {
+	return s.grouped(name).Group(carrier)
+}
+
+// scopeCarriers resolves a scope list: explicit order, or all sorted.
+func (s *Suite) scopeCarriers(scope []string) []string {
+	if len(scope) > 0 {
+		return scope
+	}
+	return s.Carriers()
+}
+
+func (s *Suite) ExperimentCount() int {
+	g := s.grouped(aggCount)
+	n := 0
+	for _, k := range g.Keys() {
+		n += g.Group(k).(*countAgg).n
+	}
+	return n
+}
+
+func (s *Suite) Carriers() []string { return s.grouped(aggCount).Keys() }
+
+func (s *Suite) ClientIDs(carrier string) []string {
+	if g := s.group(aggChurn, carrier); g != nil {
+		return g.(*churnAgg).clientIDs()
+	}
+	return []string{}
+}
+
+func (s *Suite) BusiestClient(carrier string) string {
+	if g := s.group(aggChurn, carrier); g != nil {
+		return g.(*churnAgg).busiest()
+	}
+	return ""
+}
+
+func (s *Suite) Pairs(carrier string) PairStats {
+	if g := s.group(aggPairs, carrier); g != nil {
+		return g.(*pairsAgg).stats()
+	}
+	return newPairsAgg().stats()
+}
+
+func (s *Suite) ResolutionSample(scope []string, kind dataset.ResolverKind, radio string) *stats.Sample {
+	out := &stats.Sample{}
+	for _, c := range s.scopeCarriers(scope) {
+		if g := s.group(aggResolutions, c); g != nil {
+			g.(*resolutionsAgg).addFirst(out, kind, radio)
+		}
+	}
+	return out
+}
+
+func (s *Suite) SecondLookupSample(scope []string, kind dataset.ResolverKind, radio string) *stats.Sample {
+	out := &stats.Sample{}
+	for _, c := range s.scopeCarriers(scope) {
+		if g := s.group(aggResolutions, c); g != nil {
+			g.(*resolutionsAgg).addSecond(out, kind, radio)
+		}
+	}
+	return out
+}
+
+func (s *Suite) MissFraction(scope []string, kind dataset.ResolverKind, threshold time.Duration) float64 {
+	diff := &stats.Sample{}
+	for _, c := range s.scopeCarriers(scope) {
+		if g := s.group(aggResolutions, c); g != nil {
+			g.(*resolutionsAgg).addMissDiff(diff, kind)
+		}
+	}
+	return missFractionOf(diff, threshold)
+}
+
+// missFractionOf turns a paired-difference sample into the §4.3 miss
+// fraction. The count stays integral so the division matches the slice
+// path's miss/total bit-for-bit; the ms-domain threshold comparison is
+// exact because the ns→ms float conversion is strictly monotonic at
+// nanosecond granularity.
+func missFractionOf(diff *stats.Sample, threshold time.Duration) float64 {
+	total := diff.Len()
+	if total == 0 {
+		return math.NaN()
+	}
+	thresholdMs := float64(threshold) / float64(time.Millisecond)
+	miss := total - diff.CountAtOrBelow(thresholdMs)
+	return float64(miss) / float64(total)
+}
+
+func (s *Suite) RadioGroups(carrier string) map[string]*stats.Sample {
+	if g := s.group(aggResolutions, carrier); g != nil {
+		return g.(*resolutionsAgg).radioGroups()
+	}
+	return map[string]*stats.Sample{}
+}
+
+func (s *Suite) ResolverPings(carrier string) (map[string]*stats.Sample, map[string]float64) {
+	if g := s.group(aggPings, carrier); g != nil {
+		return g.(*pingsAgg).pings()
+	}
+	return map[string]*stats.Sample{}, map[string]float64{}
+}
+
+func (s *Suite) InflationCDF(carrier, domain string) *stats.Sample {
+	if g := s.group(aggInflation, carrier); g != nil {
+		return g.(*inflationAgg).sample(domain)
+	}
+	return &stats.Sample{}
+}
+
+func (s *Suite) ReplicaVectors(carrier, domain string, minObs int) map[netip.Addr]map[string]float64 {
+	if g := s.group(aggVectors, carrier); g != nil {
+		return g.(*vectorsAgg).vectors(domain, minObs)
+	}
+	return map[netip.Addr]map[string]float64{}
+}
+
+func (s *Suite) UniqueExternals(carrier string, kind dataset.ResolverKind) (ips, slash24s int) {
+	if g := s.group(aggExternals, carrier); g != nil {
+		return g.(*externalsAgg).unique(kind)
+	}
+	return 0, 0
+}
+
+func (s *Suite) ResolverTimeline(carrier, clientID string, kind dataset.ResolverKind) []TimelinePoint {
+	if g := s.group(aggChurn, carrier); g != nil {
+		return g.(*churnAgg).timeline(clientID, kind)
+	}
+	return nil
+}
+
+func (s *Suite) StaticTimeline(carrier, clientID string, radiusKm float64, kind dataset.ResolverKind) []TimelinePoint {
+	if g := s.group(aggChurn, carrier); g != nil {
+		return g.(*churnAgg).staticTimeline(clientID, radiusKm, kind)
+	}
+	return nil
+}
+
+func (s *Suite) EgressPoints(carrier string) map[netip.Addr]int {
+	if g := s.group(aggEgress, carrier); g != nil {
+		return g.(*egressAgg).points()
+	}
+	return map[netip.Addr]int{}
+}
+
+func (s *Suite) Availability(scope []string, kind dataset.ResolverKind) Availability {
+	var out Availability
+	for _, c := range s.scopeCarriers(scope) {
+		if g := s.group(aggAvailability, c); g != nil {
+			out.add(g.(*availabilityAgg).availability(kind))
+		}
+	}
+	return out
+}
+
+func (s *Suite) PerResolverAvailability(kind dataset.ResolverKind) []ResolverAvailability {
+	byServer := map[netip.Addr]*Availability{}
+	for _, c := range s.Carriers() {
+		if g := s.group(aggAvailability, c); g != nil {
+			g.(*availabilityAgg).addPerResolver(byServer, kind)
+		}
+	}
+	return sortResolverAvailability(byServer)
+}
+
+func (s *Suite) AvailabilityTimeline(kind dataset.ResolverKind) []AvailabilityBucket {
+	out := newTimelineBuckets(s.cfg.TimelineStart, s.cfg.TimelineEnd, s.cfg.TimelineBucket)
+	if out == nil {
+		return nil
+	}
+	for _, c := range s.Carriers() {
+		if g := s.group(aggAvailability, c); g != nil {
+			g.(*availabilityAgg).addTimeline(out, kind)
+		}
+	}
+	return out
+}
+
+func (s *Suite) OutcomeCostSample(kind dataset.ResolverKind, outcome string) *stats.Sample {
+	out := &stats.Sample{}
+	for _, c := range s.Carriers() {
+		if g := s.group(aggAvailability, c); g != nil {
+			g.(*availabilityAgg).addCost(out, kind, outcome)
+		}
+	}
+	return out
+}
+
+func (s *Suite) RelativeReplicaPerf(carrier string, kind dataset.ResolverKind) *stats.Sample {
+	out := &stats.Sample{}
+	if g := s.group(aggRelPerf, carrier); g != nil {
+		g.(*relPerfAgg).addSample(out, kind)
+	}
+	return out
+}
+
+// SliceMeasures is the legacy Measures implementation: every metric
+// delegates to the original slice-walking functions over a materialized
+// dataset. It exists as the equivalence oracle for the streaming Suite —
+// and as the N-pass baseline the benchmarks compare against.
+type SliceMeasures struct {
+	cfg       SuiteConfig
+	all       []*dataset.Experiment
+	byCarrier map[string][]*dataset.Experiment
+	carriers  []string
+}
+
+// NewSliceMeasures indexes a dataset for legacy metric computation.
+func NewSliceMeasures(ds *dataset.Dataset, cfg SuiteConfig) *SliceMeasures {
+	m := &SliceMeasures{
+		cfg:       cfg,
+		all:       ds.Experiments,
+		byCarrier: map[string][]*dataset.Experiment{},
+	}
+	for _, g := range ds.ByCarrier() {
+		m.byCarrier[g.Carrier] = g.Experiments
+		m.carriers = append(m.carriers, g.Carrier)
+	}
+	return m
+}
+
+// scoped concatenates the named carriers' experiments in scope order
+// (all experiments for a nil scope).
+func (m *SliceMeasures) scoped(scope []string) []*dataset.Experiment {
+	if len(scope) == 0 {
+		return m.all
+	}
+	var out []*dataset.Experiment
+	for _, c := range scope {
+		out = append(out, m.byCarrier[c]...)
+	}
+	return out
+}
+
+func (m *SliceMeasures) ExperimentCount() int { return len(m.all) }
+
+func (m *SliceMeasures) Carriers() []string { return m.carriers }
+
+func (m *SliceMeasures) ClientIDs(carrier string) []string {
+	return ClientIDs(m.byCarrier[carrier])
+}
+
+func (m *SliceMeasures) BusiestClient(carrier string) string {
+	exps := m.byCarrier[carrier]
+	counts := map[string]int{}
+	for _, e := range exps {
+		counts[e.ClientID]++
+	}
+	best, bestN := "", -1
+	for _, id := range ClientIDs(exps) {
+		if counts[id] > bestN {
+			best, bestN = id, counts[id]
+		}
+	}
+	return best
+}
+
+func (m *SliceMeasures) Pairs(carrier string) PairStats {
+	return LDNSPairStats(m.byCarrier[carrier])
+}
+
+func (m *SliceMeasures) ResolutionSample(scope []string, kind dataset.ResolverKind, radio string) *stats.Sample {
+	return ResolutionSample(m.scoped(scope), kind, radio)
+}
+
+func (m *SliceMeasures) SecondLookupSample(scope []string, kind dataset.ResolverKind, radio string) *stats.Sample {
+	return SecondLookupSample(m.scoped(scope), kind, radio)
+}
+
+func (m *SliceMeasures) MissFraction(scope []string, kind dataset.ResolverKind, threshold time.Duration) float64 {
+	return PairedMissFraction(m.scoped(scope), kind, threshold)
+}
+
+func (m *SliceMeasures) RadioGroups(carrier string) map[string]*stats.Sample {
+	return RadioGroups(m.byCarrier[carrier])
+}
+
+func (m *SliceMeasures) ResolverPings(carrier string) (map[string]*stats.Sample, map[string]float64) {
+	return ResolverPings(m.byCarrier[carrier])
+}
+
+func (m *SliceMeasures) InflationCDF(carrier, domain string) *stats.Sample {
+	return InflationCDF(m.byCarrier[carrier], domain)
+}
+
+func (m *SliceMeasures) ReplicaVectors(carrier, domain string, minObs int) map[netip.Addr]map[string]float64 {
+	return ReplicaVectors(m.byCarrier[carrier], domain, minObs)
+}
+
+func (m *SliceMeasures) UniqueExternals(carrier string, kind dataset.ResolverKind) (ips, slash24s int) {
+	return UniqueExternals(m.byCarrier[carrier], kind)
+}
+
+func (m *SliceMeasures) ResolverTimeline(carrier, clientID string, kind dataset.ResolverKind) []TimelinePoint {
+	return ResolverTimeline(m.byCarrier[carrier], clientID, kind)
+}
+
+func (m *SliceMeasures) StaticTimeline(carrier, clientID string, radiusKm float64, kind dataset.ResolverKind) []TimelinePoint {
+	static := StaticOnly(m.byCarrier[carrier], clientID, radiusKm)
+	return ResolverTimeline(static, clientID, kind)
+}
+
+func (m *SliceMeasures) EgressPoints(carrier string) map[netip.Addr]int {
+	if m.cfg.Owns == nil {
+		return map[netip.Addr]int{}
+	}
+	return EgressPoints(m.byCarrier[carrier], m.cfg.Owns(carrier))
+}
+
+func (m *SliceMeasures) Availability(scope []string, kind dataset.ResolverKind) Availability {
+	return ResolutionAvailability(m.scoped(scope), kind)
+}
+
+func (m *SliceMeasures) PerResolverAvailability(kind dataset.ResolverKind) []ResolverAvailability {
+	return PerResolverAvailability(m.all, kind)
+}
+
+func (m *SliceMeasures) AvailabilityTimeline(kind dataset.ResolverKind) []AvailabilityBucket {
+	return AvailabilityTimeline(m.all, kind, m.cfg.TimelineStart, m.cfg.TimelineEnd, m.cfg.TimelineBucket)
+}
+
+func (m *SliceMeasures) OutcomeCostSample(kind dataset.ResolverKind, outcome string) *stats.Sample {
+	return OutcomeCostSample(m.all, kind, outcome)
+}
+
+func (m *SliceMeasures) RelativeReplicaPerf(carrier string, kind dataset.ResolverKind) *stats.Sample {
+	return RelativeReplicaPerf(m.byCarrier[carrier], kind)
+}
+
+var (
+	_ Measures = (*Suite)(nil)
+	_ Measures = (*SliceMeasures)(nil)
+)
+
+// sortResolverAvailability orders per-server counters worst-rate first,
+// ties by address — shared by the slice and streaming paths.
+func sortResolverAvailability(byServer map[netip.Addr]*Availability) []ResolverAvailability {
+	out := make([]ResolverAvailability, 0, len(byServer))
+	for server, a := range byServer {
+		out = append(out, ResolverAvailability{Server: server, Availability: *a})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].Rate(), out[j].Rate()
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].Server.Less(out[j].Server)
+	})
+	return out
+}

@@ -5,11 +5,11 @@ package dataset
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/netip"
+	"sort"
 	"time"
 )
 
@@ -157,13 +157,29 @@ func (d *Dataset) Add(e *Experiment) { d.Experiments = append(d.Experiments, e) 
 // Len returns the experiment count.
 func (d *Dataset) Len() int { return len(d.Experiments) }
 
-// ByCarrier splits experiments per carrier, preserving order.
-func (d *Dataset) ByCarrier() map[string][]*Experiment {
-	out := make(map[string][]*Experiment)
+// CarrierGroup is one carrier's experiments, in dataset order.
+type CarrierGroup struct {
+	Carrier     string
+	Experiments []*Experiment
+}
+
+// ByCarrier splits experiments per carrier. Groups are sorted by carrier
+// name and each group preserves dataset order, so the result is fully
+// deterministic without callers re-sorting.
+func (d *Dataset) ByCarrier() []CarrierGroup {
+	idx := make(map[string]int)
+	var groups []CarrierGroup
 	for _, e := range d.Experiments {
-		out[e.Carrier] = append(out[e.Carrier], e)
+		i, ok := idx[e.Carrier]
+		if !ok {
+			i = len(groups)
+			idx[e.Carrier] = i
+			groups = append(groups, CarrierGroup{Carrier: e.Carrier})
+		}
+		groups[i].Experiments = append(groups[i].Experiments, e)
 	}
-	return out
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Carrier < groups[j].Carrier })
+	return groups
 }
 
 // WriteJSONL streams the dataset as one JSON object per line.
@@ -197,29 +213,12 @@ func ReadJSONLTorn(r io.Reader) (*Dataset, int, error) {
 
 func readJSONL(r io.Reader, tolerateTorn bool) (*Dataset, int, error) {
 	d := &Dataset{}
-	br := bufio.NewReaderSize(r, 1<<20)
-	line := 0
-	for {
-		raw, err := br.ReadBytes('\n')
-		if err != nil && err != io.EOF {
-			return nil, 0, fmt.Errorf("dataset: read: %w", err)
-		}
-		atEOF := err == io.EOF
-		trimmed := bytes.TrimSuffix(raw, []byte("\n"))
-		if len(trimmed) > 0 {
-			line++
-			var e Experiment
-			if jerr := json.Unmarshal(trimmed, &e); jerr != nil {
-				if atEOF && tolerateTorn {
-					// The tail never made it to disk whole; drop it.
-					return d, len(raw), nil
-				}
-				return nil, 0, fmt.Errorf("dataset: line %d: %w", line, jerr)
-			}
-			d.Add(&e)
-		}
-		if atEOF {
-			return d, 0, nil
-		}
+	discarded, err := scanJSONL(r, tolerateTorn, func(e *Experiment) error {
+		d.Add(e)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
+	return d, discarded, nil
 }

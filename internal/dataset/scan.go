@@ -1,0 +1,310 @@
+package dataset
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ScanFunc receives experiments one at a time during a streaming scan.
+// Returning an error stops the scan and propagates the error to the
+// caller. The *Experiment is owned by the callback once yielded; the
+// scanner never touches it again.
+type ScanFunc func(*Experiment) error
+
+// Scan streams a JSONL dataset written by WriteJSONL, yielding one
+// experiment at a time without materializing the dataset. It is strict:
+// any malformed line — including a truncated final line — is an error.
+func Scan(r io.Reader, fn ScanFunc) error {
+	_, err := scanJSONL(r, false, fn)
+	return err
+}
+
+// ScanTorn streams a JSONL dataset tolerating a torn final line — the
+// expected state of an append-only segment after a hard kill mid-write.
+// A final line that does not parse (and has no trailing newline) is
+// dropped; the returned count is how many trailing bytes were discarded.
+// Torn or malformed lines anywhere else remain errors: a tear can only
+// be a suffix of the file.
+func ScanTorn(r io.Reader, fn ScanFunc) (int, error) {
+	return scanJSONL(r, true, fn)
+}
+
+func scanJSONL(r io.Reader, tolerateTorn bool, fn ScanFunc) (int, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	line := 0
+	for {
+		raw, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return 0, fmt.Errorf("dataset: read: %w", err)
+		}
+		atEOF := err == io.EOF
+		trimmed := bytes.TrimSuffix(raw, []byte("\n"))
+		if len(trimmed) > 0 {
+			line++
+			e := new(Experiment)
+			if jerr := json.Unmarshal(trimmed, e); jerr != nil {
+				if atEOF && tolerateTorn {
+					// The tail never made it to disk whole; drop it.
+					return len(raw), nil
+				}
+				return 0, fmt.Errorf("dataset: line %d: %w", line, jerr)
+			}
+			if ferr := fn(e); ferr != nil {
+				return 0, ferr
+			}
+		}
+		if atEOF {
+			return 0, nil
+		}
+	}
+}
+
+// ScanFile streams the JSONL dataset at path. A missing file is reported
+// as a clear error naming the path.
+func ScanFile(path string, fn ScanFunc) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	serr := Scan(f, fn)
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	if cerr != nil {
+		return fmt.Errorf("dataset: close %s: %w", path, cerr)
+	}
+	return nil
+}
+
+// ScanCheckpoint streams the experiments durably recorded in a campaign
+// checkpoint directory (see CreateCheckpoint), tolerating the torn final
+// line a hard kill can leave. It returns how many torn trailing bytes
+// were skipped.
+func ScanCheckpoint(dir string, fn ScanFunc) (int, error) {
+	f, err := os.Open(filepath.Join(dir, segmentFile))
+	if err != nil {
+		return 0, fmt.Errorf("dataset: checkpoint %s: %w", dir, err)
+	}
+	discarded, serr := ScanTorn(f, fn)
+	cerr := f.Close()
+	if serr != nil {
+		return 0, serr
+	}
+	if cerr != nil {
+		return 0, fmt.Errorf("dataset: checkpoint %s: close segment: %w", dir, cerr)
+	}
+	return discarded, nil
+}
+
+// IsCheckpointDir reports whether path looks like a checkpoint directory
+// (a directory holding a manifest), so CLI tools can accept either a
+// JSONL file or a checkpoint directory as dataset input.
+func IsCheckpointDir(path string) bool {
+	if info, err := os.Stat(path); err != nil || !info.IsDir() {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(path, manifestFile))
+	return err == nil
+}
+
+// Shard is one contiguous byte range of a JSONL file, aligned so a line
+// belongs to exactly one shard: the shard whose range contains the line's
+// first byte. Scanning every shard of FileShards in index order yields
+// exactly the lines of a serial scan, in the same order.
+type Shard struct {
+	Path  string
+	Start int64 // first byte of the range (a line boundary after alignment)
+	End   int64 // one past the last byte of the range
+}
+
+// FileShards splits the file at path into at most n contiguous shards.
+// Alignment happens lazily at scan time; the returned ranges are the
+// nominal even split. Fewer than n shards are returned for a file too
+// small to split (including the empty file, which yields one empty
+// shard so callers always have something to scan).
+func FileShards(path string, n int) ([]Shard, error) {
+	if n <= 0 {
+		n = 1
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	size := info.Size()
+	if int64(n) > size {
+		n = int(size)
+	}
+	if n <= 1 {
+		return []Shard{{Path: path, Start: 0, End: size}}, nil
+	}
+	shards := make([]Shard, 0, n)
+	for i := 0; i < n; i++ {
+		shards = append(shards, Shard{
+			Path:  path,
+			Start: size * int64(i) / int64(n),
+			End:   size * int64(i+1) / int64(n),
+		})
+	}
+	return shards, nil
+}
+
+// ScanShard streams the experiments whose lines start inside the shard's
+// byte range. It is strict like Scan: every owned line must parse. The
+// line straddling the shard's start boundary belongs to the previous
+// shard and is skipped; the line straddling End is read to completion
+// because its first byte is owned.
+func ScanShard(s Shard, fn ScanFunc) error {
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return fmt.Errorf("dataset: open %s: %w", s.Path, err)
+	}
+	serr := scanShard(f, s, fn)
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	if cerr != nil {
+		return fmt.Errorf("dataset: close %s: %w", s.Path, cerr)
+	}
+	return nil
+}
+
+func scanShard(f *os.File, s Shard, fn ScanFunc) error {
+	pos := s.Start
+	if pos > 0 {
+		// Align to a line boundary: seek one byte back and discard through
+		// the first newline. If Start already sits on a line boundary the
+		// discarded byte is exactly that newline; otherwise the rest of a
+		// line owned by the previous shard is skipped.
+		pos--
+	}
+	if _, err := f.Seek(pos, io.SeekStart); err != nil {
+		return fmt.Errorf("dataset: seek %s: %w", s.Path, err)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	if s.Start > 0 {
+		skipped, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			return nil // the shard starts inside the unterminated last line
+		}
+		if err != nil {
+			return fmt.Errorf("dataset: read %s: %w", s.Path, err)
+		}
+		pos += int64(len(skipped))
+	}
+	for pos < s.End {
+		raw, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("dataset: read %s: %w", s.Path, err)
+		}
+		atEOF := err == io.EOF
+		lineStart := pos
+		pos += int64(len(raw))
+		trimmed := bytes.TrimSuffix(raw, []byte("\n"))
+		if len(trimmed) > 0 {
+			e := new(Experiment)
+			if jerr := json.Unmarshal(trimmed, e); jerr != nil {
+				return fmt.Errorf("dataset: %s: line at byte %d: %w", s.Path, lineStart, jerr)
+			}
+			if ferr := fn(e); ferr != nil {
+				return ferr
+			}
+		}
+		if atEOF {
+			return nil
+		}
+	}
+	return nil
+}
+
+// scanBatch is how many experiments a parallel shard scanner hands over
+// per channel send: large enough to amortize synchronization, small
+// enough to bound per-shard buffering.
+const scanBatch = 256
+
+// ScanFileParallel streams the JSONL file at path using n concurrent
+// shard scanners while yielding experiments to fn in exactly serial file
+// order: shard parsing overlaps, but delivery drains shard 0 to
+// completion before shard 1, and so on. fn runs on the calling
+// goroutine. Memory is bounded by n scanners' in-flight batches, not by
+// the file size.
+func ScanFileParallel(path string, n int, fn ScanFunc) error {
+	shards, err := FileShards(path, n)
+	if err != nil {
+		return err
+	}
+	if len(shards) == 1 {
+		return ScanShard(shards[0], fn)
+	}
+
+	type stream struct {
+		ch  chan []*Experiment
+		err error
+	}
+	done := make(chan struct{})
+	streams := make([]*stream, len(shards))
+	var wg sync.WaitGroup
+	// Unblock any producer stalled on a full channel before waiting for
+	// the pool, or an early consumer exit would deadlock the Wait.
+	defer func() {
+		close(done)
+		wg.Wait()
+	}()
+	for i, sh := range shards {
+		st := &stream{ch: make(chan []*Experiment, 4)}
+		streams[i] = st
+		wg.Add(1)
+		go func(sh Shard, st *stream) {
+			defer wg.Done()
+			defer close(st.ch)
+			batch := make([]*Experiment, 0, scanBatch)
+			flush := func() bool {
+				if len(batch) == 0 {
+					return true
+				}
+				select {
+				case st.ch <- batch:
+					batch = make([]*Experiment, 0, scanBatch)
+					return true
+				case <-done:
+					return false
+				}
+			}
+			st.err = ScanShard(sh, func(e *Experiment) error {
+				batch = append(batch, e)
+				if len(batch) >= scanBatch && !flush() {
+					return errScanAborted
+				}
+				return nil
+			})
+			if st.err == nil {
+				flush()
+			}
+		}(sh, st)
+	}
+
+	for _, st := range streams {
+		for batch := range st.ch {
+			for _, e := range batch {
+				if ferr := fn(e); ferr != nil {
+					return ferr
+				}
+			}
+		}
+		if st.err != nil && st.err != errScanAborted {
+			return st.err
+		}
+	}
+	return nil
+}
+
+// errScanAborted is the sentinel a parallel shard scanner returns
+// internally when the consumer went away; it never escapes the package.
+var errScanAborted = fmt.Errorf("dataset: scan aborted")

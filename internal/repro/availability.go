@@ -3,7 +3,6 @@ package repro
 import (
 	"fmt"
 
-	"cellcurtain/internal/analysis"
 	"cellcurtain/internal/dataset"
 )
 
@@ -20,7 +19,7 @@ func (c *Context) Availability() Result {
 	t.row("carrier", "lookups", "ok %", "servfail %", "timeout %", "failover %", "retry amp")
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
-		a := analysis.ResolutionAvailability(c.Exps(cn.Name), dataset.KindLocal)
+		a := c.M.Availability([]string{cn.Name}, dataset.KindLocal)
 		if a.Total == 0 {
 			continue
 		}
@@ -36,9 +35,8 @@ func (c *Context) Availability() Result {
 
 	kinds := newTable("Availability: outcomes per resolver kind (all carriers)")
 	kinds.row("kind", "lookups", "ok %", "servfail %", "timeout %", "refused %", "error %", "retry amp")
-	exps := c.AllExps()
 	for _, kind := range dataset.Kinds() {
-		a := analysis.ResolutionAvailability(exps, kind)
+		a := c.M.Availability(nil, kind)
 		if a.Total == 0 {
 			continue
 		}
@@ -48,18 +46,15 @@ func (c *Context) Availability() Result {
 		m["avail_kind_"+string(kind)] = a.Rate()
 		m["retryamp_kind_"+string(kind)] = a.RetryAmplification()
 	}
-	overall := analysis.ResolutionAvailability(exps, "")
+	overall := c.M.Availability(nil, "")
 	m["avail_overall"] = overall.Rate()
 	m["retryamp_overall"] = overall.RetryAmplification()
 
 	// Timeline: twelve buckets across the campaign window; an injected
 	// outage shows as a dip bounded by its window.
-	cfg := c.Campaign.Config
-	const buckets = 12
 	tl := newTable("Availability timeline: local-DNS success rate per campaign twelfth")
 	tl.row("bucket start", "lookups", "ok %", "servfail %", "timeout %")
-	timeline := analysis.AvailabilityTimeline(exps, dataset.KindLocal,
-		cfg.Start, cfg.End, cfg.End.Sub(cfg.Start)/buckets)
+	timeline := c.M.AvailabilityTimeline(dataset.KindLocal)
 	worst := 1.0
 	for i, b := range timeline {
 		if b.Total == 0 {
@@ -78,7 +73,7 @@ func (c *Context) Availability() Result {
 	// failures concentrate on.
 	offenders := newTable("Availability: lowest-availability resolvers (by primary server)")
 	offenders.row("server", "lookups", "ok %", "servfail %", "timeout %", "failover %")
-	perResolver := analysis.PerResolverAvailability(exps, dataset.KindLocal)
+	perResolver := c.M.PerResolverAvailability(dataset.KindLocal)
 	for i, ra := range perResolver {
 		if i >= 8 {
 			break
@@ -89,7 +84,7 @@ func (c *Context) Availability() Result {
 
 	text := t.String() + "\n" + kinds.String() + "\n" + tl.String() + "\n" + offenders.String()
 	for _, outcome := range []string{"servfail", "timeout"} {
-		s := analysis.OutcomeCostSample(exps, dataset.KindLocal, outcome)
+		s := c.M.OutcomeCostSample(dataset.KindLocal, outcome)
 		if s.Len() == 0 {
 			continue
 		}

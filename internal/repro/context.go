@@ -6,11 +6,13 @@ package repro
 
 import (
 	"fmt"
-	"sort"
+	"net/netip"
 	"strings"
 	"text/tabwriter"
 	"time"
 
+	"cellcurtain/internal/analysis"
+	"cellcurtain/internal/analysis/engine"
 	"cellcurtain/internal/carrier"
 	"cellcurtain/internal/dataset"
 	"cellcurtain/internal/sim"
@@ -23,6 +25,12 @@ type Context struct {
 	World    *sim.World
 	Campaign *trace.Campaign
 	Data     *dataset.Dataset
+
+	// M answers every metric query of the harnesses. By default it is a
+	// streaming analysis.Suite fed with exactly one pass over the
+	// dataset; the equivalence tests swap in the legacy slice
+	// implementation to prove the artifacts are byte-identical.
+	M analysis.Measures
 
 	byCarrier map[string][]*dataset.Experiment
 }
@@ -60,12 +68,42 @@ func NewContextWorld(cfg trace.Config, simCfg sim.Config) (*Context, error) {
 	} else {
 		data = camp.Collect()
 	}
+	byCarrier := map[string][]*dataset.Experiment{}
+	for _, g := range data.ByCarrier() {
+		byCarrier[g.Carrier] = g.Experiments
+	}
+	suite := analysis.NewSuite(SuiteConfig(w, cfg))
+	if err := suite.Run(engine.SliceScanner(data.Experiments)); err != nil {
+		return nil, err
+	}
 	return &Context{
 		World:     w,
 		Campaign:  camp,
 		Data:      data,
-		byCarrier: data.ByCarrier(),
+		M:         suite,
+		byCarrier: byCarrier,
 	}, nil
+}
+
+// availabilityBuckets is the timeline resolution of the AVAIL report.
+const availabilityBuckets = 12
+
+// SuiteConfig derives the analysis configuration shared by the streaming
+// and slice metric paths: carrier address ownership for egress
+// extraction, and the campaign window laid out in AVAIL's buckets.
+func SuiteConfig(w *sim.World, cfg trace.Config) analysis.SuiteConfig {
+	return analysis.SuiteConfig{
+		Owns: func(name string) func(netip.Addr) bool {
+			cn, ok := w.Carrier(name)
+			if !ok {
+				return nil
+			}
+			return cn.OwnsAddr
+		},
+		TimelineStart:  cfg.Start,
+		TimelineEnd:    cfg.End,
+		TimelineBucket: cfg.End.Sub(cfg.Start) / availabilityBuckets,
+	}
 }
 
 // QuickConfig is a reduced campaign for tests and benchmarks: the full
@@ -140,24 +178,7 @@ func (t *table) String() string {
 // busiest returns the client with the most experiments for a carrier —
 // the representative device for longitudinal figures.
 func (c *Context) busiest(carrierName string) string {
-	counts := map[string]int{}
-	for _, e := range c.byCarrier[carrierName] {
-		counts[e.ClientID]++
-	}
-	ids := make([]string, 0, len(counts))
-	for id := range counts {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(a, b int) bool {
-		if counts[ids[a]] != counts[ids[b]] {
-			return counts[ids[a]] > counts[ids[b]]
-		}
-		return ids[a] < ids[b]
-	})
-	if len(ids) == 0 {
-		return ""
-	}
-	return ids[0]
+	return c.M.BusiestClient(carrierName)
 }
 
 // RunByID dispatches an experiment harness by its DESIGN.md identifier.

@@ -20,7 +20,7 @@ func (c *Context) Fig2() Result {
 	t.row("carrier", "p25", "p50", "p75", "p90", "frac>50%", "frac>100%")
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
-		s := analysis.InflationCDF(c.Exps(cn.Name), "")
+		s := c.M.InflationCDF(cn.Name, "")
 		if s.Len() == 0 {
 			continue
 		}
@@ -39,7 +39,7 @@ func (c *Context) Fig2() Result {
 	t.row("")
 	t.row("att by domain", "p50", "p90", "", "", "", "")
 	for _, d := range c.World.CDN.Domains[:4] {
-		s := analysis.InflationCDF(c.Exps("att"), string(d.Name))
+		s := c.M.InflationCDF("att", string(d.Name))
 		if s.Len() == 0 {
 			continue
 		}
@@ -55,13 +55,19 @@ func (c *Context) Fig3() Result {
 	t := newTable("Fig 3: resolution time by radio technology (ms, median / p90)")
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
-		groups := analysis.RadioGroups(c.Exps(cn.Name))
+		groups := c.M.RadioGroups(cn.Name)
 		techs := make([]string, 0, len(groups))
 		for tech := range groups {
 			techs = append(techs, tech)
 		}
 		sort.Slice(techs, func(a, b int) bool {
-			return groups[techs[a]].Median() < groups[techs[b]].Median()
+			ma, mb := groups[techs[a]].Median(), groups[techs[b]].Median()
+			if ma != mb {
+				return ma < mb
+			}
+			// Equal medians happen on small samples; break the tie by name
+			// so the rendered row order is stable across runs.
+			return techs[a] < techs[b]
 		})
 		for _, tech := range techs {
 			s := groups[tech]
@@ -84,7 +90,7 @@ func (c *Context) Fig4() Result {
 	t.row("carrier", "configured p50", "external p50", "external reach")
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
-		samples, reach := analysis.ResolverPings(c.Exps(cn.Name))
+		samples, reach := c.M.ResolverPings(cn.Name)
 		cfg := samples["local/configured"]
 		ext := samples["local/external"]
 		cfgMed, extMed := -1.0, -1.0
@@ -109,7 +115,7 @@ func (c *Context) resolutionFigure(id, title string, names []string) Result {
 	m := map[string]float64{}
 	for _, name := range names {
 		cn, _ := c.World.Carrier(name)
-		s := analysis.ResolutionSample(c.Exps(name), dataset.KindLocal, string(radio.LTE))
+		s := c.M.ResolutionSample([]string{name}, dataset.KindLocal, string(radio.LTE))
 		if s.Len() == 0 {
 			continue
 		}
@@ -136,9 +142,9 @@ func (c *Context) Fig6() Result {
 // Fig7 regenerates Figure 7: first vs immediate second lookup (cache
 // effect), US carriers combined.
 func (c *Context) Fig7() Result {
-	us := c.USExps()
-	first := analysis.ResolutionSample(us, dataset.KindLocal, string(radio.LTE))
-	second := analysis.SecondLookupSample(us, dataset.KindLocal, string(radio.LTE))
+	us := carrier.USCarriers()
+	first := c.M.ResolutionSample(us, dataset.KindLocal, string(radio.LTE))
+	second := c.M.SecondLookupSample(us, dataset.KindLocal, string(radio.LTE))
 	t := newTable("Fig 7: back-to-back lookups, US carriers combined (ms)")
 	t.row("lookup", "p50", "p75", "p90", "p99")
 	for _, row := range []struct {
@@ -153,7 +159,7 @@ func (c *Context) Fig7() Result {
 	// The paper measures the miss rate with paired differencing: a first
 	// lookup that exceeds its immediate re-lookup by more than the radio
 	// jitter paid an upstream fetch.
-	missFrac := analysis.PairedMissFraction(us, dataset.KindLocal, 18*time.Millisecond)
+	missFrac := c.M.MissFraction(us, dataset.KindLocal, 18*time.Millisecond)
 	t.row("miss fraction", fmt.Sprintf("%.2f", missFrac), "", "", "")
 	// KS distance quantifies how far the miss tail pushes the first-lookup
 	// distribution away from the pure-hit second-lookup distribution.
@@ -178,7 +184,7 @@ func (c *Context) Fig8() Result {
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
 		id := c.busiest(cn.Name)
-		tl := analysis.ResolverTimeline(c.Exps(cn.Name), id, dataset.KindLocal)
+		tl := c.M.ResolverTimeline(cn.Name, id, dataset.KindLocal)
 		if len(tl) == 0 {
 			continue
 		}
@@ -198,8 +204,7 @@ func (c *Context) Fig9() Result {
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
 		id := c.busiest(cn.Name)
-		static := analysis.StaticOnly(c.Exps(cn.Name), id, 1.0)
-		tl := analysis.ResolverTimeline(static, id, dataset.KindLocal)
+		tl := c.M.StaticTimeline(cn.Name, id, 1.0, dataset.KindLocal)
 		if len(tl) == 0 {
 			continue
 		}
@@ -219,7 +224,7 @@ func (c *Context) Fig10() Result {
 	t.row("carrier", "same-/24 pairs", "mean sim", "diff-/24 pairs", "mean sim", "frac diff==0")
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
-		vectors := analysis.ReplicaVectors(c.Exps(cn.Name), "buzzfeed.com", 2)
+		vectors := c.M.ReplicaVectors(cn.Name, "buzzfeed.com", 2)
 		same, diff := analysis.CosineSplit(vectors)
 		sm, dm := mean(same), mean(diff)
 		zeroFrac := analysis.FracAtOrBelow(diff, 1e-9)
@@ -243,7 +248,7 @@ func (c *Context) Fig11() Result {
 	t.row("carrier", "cell external", "google vip", "opendns vip")
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
-		samples, _ := analysis.ResolverPings(c.Exps(cn.Name))
+		samples, _ := c.M.ResolverPings(cn.Name)
 		med := func(key string) float64 {
 			if s := samples[key]; s != nil && s.Len() > 0 {
 				return s.Median()
@@ -267,7 +272,7 @@ func (c *Context) Fig12() Result {
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
 		id := c.busiest(cn.Name)
-		tl := analysis.ResolverTimeline(c.Exps(cn.Name), id, dataset.KindGoogle)
+		tl := c.M.ResolverTimeline(cn.Name, id, dataset.KindGoogle)
 		if len(tl) == 0 {
 			continue
 		}
@@ -286,11 +291,11 @@ func (c *Context) Fig13() Result {
 	t.row("carrier", "local p50", "google p50", "opendns p50", "local p95", "google p95")
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
-		exps := c.Exps(cn.Name)
+		scope := []string{cn.Name}
 		lte := string(radio.LTE)
-		l := analysis.ResolutionSample(exps, dataset.KindLocal, lte)
-		g := analysis.ResolutionSample(exps, dataset.KindGoogle, lte)
-		o := analysis.ResolutionSample(exps, dataset.KindOpenDNS, lte)
+		l := c.M.ResolutionSample(scope, dataset.KindLocal, lte)
+		g := c.M.ResolutionSample(scope, dataset.KindGoogle, lte)
+		o := c.M.ResolutionSample(scope, dataset.KindOpenDNS, lte)
 		t.row(cn.DisplayName,
 			fmt.Sprintf("%.0f", l.Median()), fmt.Sprintf("%.0f", g.Median()),
 			fmt.Sprintf("%.0f", o.Median()),
@@ -316,7 +321,7 @@ func (c *Context) Fig14() Result {
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
 		for _, kind := range []dataset.ResolverKind{dataset.KindGoogle, dataset.KindOpenDNS} {
-			s := analysis.RelativeReplicaPerf(c.Exps(cn.Name), kind)
+			s := c.M.RelativeReplicaPerf(cn.Name, kind)
 			if s.Len() == 0 {
 				continue
 			}

@@ -3,7 +3,6 @@ package repro
 import (
 	"fmt"
 
-	"cellcurtain/internal/analysis"
 	"cellcurtain/internal/dataset"
 	"cellcurtain/internal/probe"
 )
@@ -51,7 +50,7 @@ func (c *Context) Table3() Result {
 	t.row("carrier", "client-facing", "external", "ext /24s", "consistency %")
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
-		ps := analysis.LDNSPairStats(c.Exps(cn.Name))
+		ps := c.M.Pairs(cn.Name)
 		t.row(cn.DisplayName, ps.ClientFacing, ps.External, ps.ExternalSlash24s,
 			fmt.Sprintf("%.1f", ps.Consistency*100))
 		m["cf_"+cn.Name] = float64(ps.ClientFacing)
@@ -95,10 +94,9 @@ func (c *Context) Table5() Result {
 	t.row("carrier", "local IPs", "google IPs", "opendns IPs", "local /24", "google /24", "opendns /24")
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
-		exps := c.Exps(cn.Name)
-		li, l24 := analysis.UniqueExternals(exps, dataset.KindLocal)
-		gi, g24 := analysis.UniqueExternals(exps, dataset.KindGoogle)
-		oi, o24 := analysis.UniqueExternals(exps, dataset.KindOpenDNS)
+		li, l24 := c.M.UniqueExternals(cn.Name, dataset.KindLocal)
+		gi, g24 := c.M.UniqueExternals(cn.Name, dataset.KindGoogle)
+		oi, o24 := c.M.UniqueExternals(cn.Name, dataset.KindOpenDNS)
 		t.row(cn.DisplayName, li, gi, oi, l24, g24, o24)
 		m["local_ips_"+cn.Name] = float64(li)
 		m["google_ips_"+cn.Name] = float64(gi)
@@ -117,7 +115,7 @@ func (c *Context) Egress() Result {
 	t.row("carrier", "observed egresses", "provisioned", "3G-era baseline")
 	m := map[string]float64{}
 	for _, cn := range c.Carriers() {
-		pts := analysis.EgressPoints(c.Exps(cn.Name), cn.OwnsAddr)
+		pts := c.M.EgressPoints(cn.Name)
 		t.row(cn.DisplayName, len(pts), cn.EgressCount, "4-6")
 		m["observed_"+cn.Name] = float64(len(pts))
 		m["provisioned_"+cn.Name] = float64(cn.EgressCount)

@@ -480,3 +480,103 @@ func TestKSProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSampleAddAfterQuery(t *testing.T) {
+	var s Sample
+	s.Add(30)
+	s.Add(10)
+	if got := s.Median(); got != 20 {
+		t.Fatalf("median of {10,30} = %v, want 20", got)
+	}
+	// The query above sorted the sample; further Adds must invalidate
+	// that sort even though the values arrive out of order.
+	s.Add(5)
+	if got := s.Percentile(0); got != 5 {
+		t.Fatalf("min after add-after-query = %v, want 5", got)
+	}
+	if got := s.Median(); got != 10 {
+		t.Fatalf("median of {5,10,30} = %v, want 10", got)
+	}
+	vs := s.Values()
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1] > vs[i] {
+			t.Fatalf("Values not sorted after add-after-query: %v", vs)
+		}
+	}
+}
+
+func TestSampleMerge(t *testing.T) {
+	var a, b Sample
+	for _, v := range []float64{3, 1, 2} {
+		a.Add(v)
+	}
+	for _, v := range []float64{6, 4, 5} {
+		b.Add(v)
+	}
+	// Query b first so its internal sort state is exercised by the merge.
+	if got := b.Median(); got != 5 {
+		t.Fatalf("b median = %v, want 5", got)
+	}
+	a.Merge(&b)
+	if a.Len() != 6 {
+		t.Fatalf("merged len = %d, want 6", a.Len())
+	}
+	if got := a.Percentile(100); got != 6 {
+		t.Fatalf("merged max = %v, want 6", got)
+	}
+	if got := a.Median(); got != 3.5 {
+		t.Fatalf("merged median = %v, want 3.5", got)
+	}
+	// The source must be unchanged.
+	if b.Len() != 3 || b.Median() != 5 {
+		t.Fatalf("merge modified its argument: len=%d median=%v", b.Len(), b.Median())
+	}
+	// Merging nil or empty is a no-op.
+	a.Merge(nil)
+	var empty Sample
+	a.Merge(&empty)
+	if a.Len() != 6 {
+		t.Fatalf("nil/empty merge changed len to %d", a.Len())
+	}
+}
+
+func TestSampleSelfMerge(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	s.Merge(&s)
+	if s.Len() != 4 {
+		t.Fatalf("self-merge len = %d, want 4", s.Len())
+	}
+	if got := s.Mean(); got != 1.5 {
+		t.Fatalf("self-merge mean = %v, want 1.5", got)
+	}
+}
+
+// Property: a sample split at any point and merged back reports the same
+// summary as the unsplit sample — the shard-reduction contract.
+func TestSampleMergeEquivalence(t *testing.T) {
+	f := func(xs []uint8, cut uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(cut) % len(xs)
+		var whole, left, right Sample
+		for i, v := range xs {
+			whole.Add(float64(v))
+			if i < k {
+				left.Add(float64(v))
+			} else {
+				right.Add(float64(v))
+			}
+		}
+		left.Merge(&right)
+		return left.Len() == whole.Len() &&
+			left.Median() == whole.Median() &&
+			left.Mean() == whole.Mean() &&
+			left.Percentile(90) == whole.Percentile(90)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -11,19 +11,38 @@ import (
 // Sample is a growable collection of float64 observations with
 // percentile/CDF accessors. The zero value is ready to use.
 type Sample struct {
-	xs     []float64
-	sorted bool
+	xs []float64
+	// sortedLen is the length of xs when it was last sorted, or -1 if it
+	// has never been sorted (0 is ambiguous only for the empty sample,
+	// where sorting is a no-op anyway). Tracking the length rather than a
+	// boolean guards against any growth path — Add, Merge, or a future
+	// bulk append — reading a stale sort: a query re-sorts whenever the
+	// observation count has moved since the last sort.
+	sortedLen int
 }
 
 // Add appends one observation.
 func (s *Sample) Add(x float64) {
 	s.xs = append(s.xs, x)
-	s.sorted = false
+	s.sortedLen = -1
 }
 
 // AddDuration appends a duration observation in milliseconds.
 func (s *Sample) AddDuration(d time.Duration) {
 	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Merge appends every observation of other (in other's current order).
+// It is the shard-reduction step of parallel aggregation: per-shard
+// samples built over contiguous dataset ranges, merged in shard order,
+// hold exactly the observations of a serial pass. other is not modified;
+// merging a sample into itself doubles it.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil || len(other.xs) == 0 {
+		return
+	}
+	s.xs = append(s.xs, other.xs...)
+	s.sortedLen = -1
 }
 
 // Len returns the number of observations.
@@ -37,9 +56,9 @@ func (s *Sample) Values() []float64 {
 }
 
 func (s *Sample) ensureSorted() {
-	if !s.sorted {
+	if s.sortedLen != len(s.xs) {
 		sort.Float64s(s.xs)
-		s.sorted = true
+		s.sortedLen = len(s.xs)
 	}
 }
 
@@ -68,16 +87,30 @@ func (s *Sample) Percentile(p float64) float64 {
 // Median returns the 50th percentile.
 func (s *Sample) Median() float64 { return s.Percentile(50) }
 
-// Mean returns the arithmetic mean, or NaN for an empty sample.
+// Mean returns the arithmetic mean, or NaN for an empty sample. The sum
+// runs over the sorted values so the result is a pure function of the
+// observation multiset — insertion order (which differs between serial
+// and shard-merged aggregation) can never shift the floating-point
+// rounding.
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
+	s.ensureSorted()
 	var sum float64
 	for _, x := range s.xs {
 		sum += x
 	}
 	return sum / float64(len(s.xs))
+}
+
+// CountAtOrBelow returns the number of observations <= x. Unlike
+// FracBelow it stays in the integer domain, so callers combining it with
+// Len (e.g. an exceedance fraction computed as (Len-count)/Len) get the
+// same float result as a direct per-observation count.
+func (s *Sample) CountAtOrBelow(x float64) int {
+	s.ensureSorted()
+	return sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
 }
 
 // FracBelow returns the fraction of observations <= x (the empirical CDF
@@ -86,8 +119,7 @@ func (s *Sample) FracBelow(x float64) float64 {
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
-	s.ensureSorted()
-	return float64(sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))) / float64(len(s.xs))
+	return float64(s.CountAtOrBelow(x)) / float64(len(s.xs))
 }
 
 // CDFPoint is one (value, cumulative fraction) pair of an empirical CDF.

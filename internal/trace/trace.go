@@ -305,6 +305,12 @@ type RunStatus struct {
 // own random stream derived from (Seed, client, seq), so the recorded
 // dataset is byte-identical whether the campaign runs serially or
 // sharded across workers.
+//
+// record is invoked while the campaign is still running, as soon as the
+// canonical prefix up to an experiment is complete — so results can
+// stream straight into an analysis engine (record = suite.Observe)
+// without ever materializing the dataset. Memory is bounded by the
+// workers' out-of-order window, not the campaign size.
 func (c *Campaign) Run(record func(*dataset.Experiment)) {
 	// Without a checkpoint there is no error source; the status is the
 	// trivial "everything ran" unless Config.Interrupt fired.
@@ -313,24 +319,45 @@ func (c *Campaign) Run(record func(*dataset.Experiment)) {
 
 // run is the shared execution engine: worker w of W handles clients
 // w, w+W, w+2W, ... for every step on its own world replica, results
-// land at their canonical index, and record sees them in canonical
-// order. Experiments present in prior (keyed by seq) are reused instead
-// of re-run; newly completed ones are appended to ck when it is non-nil.
-// A panicking experiment is recovered inside runExperiment, so a worker
-// can never die and strand its shard. When Config.Interrupt closes, each
-// worker finishes its in-flight experiment and stops; record is then not
-// called (the partial state lives in the checkpoint, not the dataset).
+// stream to record in canonical index order as soon as the contiguous
+// prefix is complete. Experiments present in prior (keyed by seq) are
+// reused instead of re-run; newly completed ones are appended to ck when
+// it is non-nil. A panicking experiment is recovered inside
+// runExperiment, so a worker can never die and strand its shard. When
+// Config.Interrupt closes (or the checkpoint errors), each worker
+// finishes its in-flight experiment and stops; record has then seen only
+// a canonical prefix, which the caller must discard — the durable state
+// lives in the checkpoint, not in whatever record accumulated.
 func (c *Campaign) run(prior map[int]*dataset.Experiment, ck *dataset.Checkpoint, record func(*dataset.Experiment)) (RunStatus, error) {
 	steps, clients := c.Steps(), len(c.Clients)
 	total := steps * clients
 	st := RunStatus{Total: total, Reused: len(prior)}
 	shards := append([]*Campaign{c}, c.replicas...)
-	results := make([]*dataset.Experiment, total)
 
 	var mu sync.Mutex
 	var firstErr error
 	completed := len(prior)
 	stopped := false
+	// pending is the out-of-order window: results whose predecessors are
+	// still in flight. emit (called with mu held) parks a result and
+	// drains the contiguous prefix into record — canonical order, bounded
+	// memory, no full-campaign buffer.
+	pending := map[int]*dataset.Experiment{}
+	next := 0
+	emit := func(idx int, e *dataset.Experiment) {
+		pending[idx] = e
+		for {
+			head, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			next++
+			if record != nil {
+				record(head)
+			}
+		}
+	}
 
 	interruptRequested := func() bool {
 		if c.Config.Interrupt == nil {
@@ -349,7 +376,9 @@ func (c *Campaign) run(prior map[int]*dataset.Experiment, ck *dataset.Checkpoint
 			for i := w; i < clients; i += len(shards) {
 				idx := step*clients + i
 				if e, ok := prior[idx+1]; ok {
-					results[idx] = e
+					mu.Lock()
+					emit(idx, e)
+					mu.Unlock()
 					continue
 				}
 				mu.Lock()
@@ -362,13 +391,13 @@ func (c *Campaign) run(prior map[int]*dataset.Experiment, ck *dataset.Checkpoint
 					return
 				}
 				e := shard.runExperiment(step, i)
-				results[idx] = e
 				mu.Lock()
 				if ck != nil && firstErr == nil {
 					if err := ck.Append(e); err != nil {
 						firstErr = err
 					}
 				}
+				emit(idx, e)
 				completed++
 				done := completed
 				hook := c.afterExperiment
@@ -401,9 +430,6 @@ func (c *Campaign) run(prior map[int]*dataset.Experiment, ck *dataset.Checkpoint
 	}
 	if st.Interrupted {
 		return st, nil
-	}
-	for _, e := range results {
-		record(e)
 	}
 	// Leave every fabric in a canonical post-campaign state so analyses
 	// that probe after Run are also worker-count invariant.

@@ -51,3 +51,66 @@ END {
 
 echo "bench.sh: wrote $out"
 cat "$out"
+
+# --- offline analysis benchmark: BENCH_analyze.json -------------------
+#
+# Two measurements per mode (streaming parallel=1/4/8, legacy slice):
+# in-process scan+query timing from BenchmarkAnalyze, and the peak RSS
+# of a fresh `curtain analyze -stats` subprocess over the same 21-day
+# dataset — the honest memory number, since VmHWM is per-process.
+
+aout="BENCH_analyze.json"
+araw="$(mktemp)"
+dsfile="$(mktemp)"
+curtain="$(mktemp)"
+trap 'rm -f "$raw" "$araw" "$dsfile" "$curtain"' EXIT
+
+echo "==> go test -bench BenchmarkAnalyze -benchtime $benchtime"
+go test -run '^$' -bench '^BenchmarkAnalyze/' -benchtime "$benchtime" -timeout 1800s . | tee "$araw"
+
+echo "==> subprocess peak RSS (curtain analyze -stats, 21-day dataset)"
+go build -o "$curtain" ./cmd/curtain
+"$curtain" simulate -days 21 -interval-hours 12 -seed 2014 -out "$dsfile" >/dev/null 2>&1
+
+rss_of() {
+	"$curtain" analyze -in "$dsfile" -stats "$@" 2>&1 >/dev/null |
+		sed -n 's/.*peak RSS \([0-9.]*\) MB.*/\1/p'
+}
+rss1="$(rss_of -parallel 1)"
+rss4="$(rss_of -parallel 4)"
+rss8="$(rss_of -parallel 8)"
+rssleg="$(rss_of -legacy)"
+echo "peak RSS MB: parallel=1 $rss1, parallel=4 $rss4, parallel=8 $rss8, legacy $rssleg"
+
+awk -v cores="$cores" -v benchtime="$benchtime" \
+	-v rss1="$rss1" -v rss4="$rss4" -v rss8="$rss8" -v rssleg="$rssleg" '
+/^BenchmarkAnalyze\// {
+	name = $1
+	sub(/^BenchmarkAnalyze\//, "", name)
+	sub(/-[0-9]+$/, "", name)
+	ns[name] = $3 + 0
+	exps[name] = $5 + 0
+	order[++n] = name
+}
+END {
+	if (!("parallel=1" in ns)) { print "bench.sh: no parallel=1 result" > "/dev/stderr"; exit 1 }
+	rss["parallel=1"] = rss1; rss["parallel=4"] = rss4
+	rss["parallel=8"] = rss8; rss["legacy"] = rssleg
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkAnalyze\",\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"host_cores\": %d,\n", cores
+	printf "  \"dataset\": {\"days\": 21, \"interval_hours\": 12, \"experiments\": %d},\n", exps["parallel=1"]
+	printf "  \"note\": \"all modes print byte-identical reports; shard speedup is bounded by host_cores; peak_rss_mb is a fresh curtain-analyze subprocess (VmHWM)\",\n"
+	printf "  \"runs\": [\n"
+	for (i = 1; i <= n; i++) {
+		m = ns[order[i]]
+		printf "    {\"mode\": \"%s\", \"ns_per_op\": %.0f, \"exp_per_sec\": %.0f, \"speedup_vs_serial\": %.2f, \"peak_rss_mb\": %s}%s\n",
+			order[i], m, exps[order[i]] / (m / 1e9), ns["parallel=1"] / m,
+			(rss[order[i]] == "" ? "null" : rss[order[i]]), (i < n ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' "$araw" > "$aout"
+
+echo "bench.sh: wrote $aout"
+cat "$aout"

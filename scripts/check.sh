@@ -43,4 +43,21 @@ go test -count=1 -run '^$' -fuzz '^FuzzDecodeName$' -fuzztime=5s ./internal/dnsw
 echo "==> benchmark smoke (1 iteration of BenchmarkCampaign/workers=1)"
 go test -run '^$' -bench '^BenchmarkCampaign/workers=1$' -benchtime 1x .
 
+echo "==> analyze equivalence (streaming -parallel 1/4/8 + -legacy -> byte-identical report)"
+ckbin="$(mktemp)"
+ckds="$(mktemp)"
+cka="$(mktemp)"
+ckb="$(mktemp)"
+trap 'rm -f "$ckbin" "$ckds" "$cka" "$ckb"' EXIT
+go build -o "$ckbin" ./cmd/curtain
+"$ckbin" simulate -days 2 -scale 0.1 -seed 7 -out "$ckds" >/dev/null 2>&1
+"$ckbin" analyze -in "$ckds" -parallel 1 > "$cka"
+for mode in "-parallel 4" "-parallel 8" "-legacy"; do
+	"$ckbin" analyze -in "$ckds" $mode > "$ckb"
+	cmp "$cka" "$ckb" || { echo "check.sh: analyze $mode diverges from -parallel 1" >&2; exit 1; }
+done
+
+echo "==> analyze benchmark smoke (1 iteration of BenchmarkAnalyze/parallel=1)"
+go test -run '^$' -bench '^BenchmarkAnalyze/parallel=1$' -benchtime 1x -timeout 900s .
+
 echo "check.sh: all gates passed"
