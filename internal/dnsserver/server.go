@@ -67,24 +67,33 @@ func (s *Server) Serve(conn *net.UDPConn) error {
 	done := s.done
 	s.mu.Unlock()
 	defer close(done)
+	return s.serveLoop(conn)
+}
 
-	buf := make([]byte, 4096)
+// pktPool recycles receive buffers across packets. It stores *[]byte so
+// Get/Put traffic stays pointer-shaped and pooling itself never allocates.
+var pktPool = sync.Pool{New: func() any { b := make([]byte, 4096); return &b }}
+
+// serveLoop is the per-packet receive loop: one pooled buffer and one
+// handler goroutine per packet, no other per-packet allocations. The
+// handler goroutine owns the buffer until it returns (dnswire.Parse copies
+// every byte it retains) and then recycles it.
+//
+//lint:hotpath read loop of every served query (ROADMAP item 2)
+func (s *Server) serveLoop(conn *net.UDPConn) error {
 	for {
+		bp := pktPool.Get().(*[]byte)
 		//lint:ignore netdeadline the accept-style read loop blocks by design; Shutdown closes the socket to unblock it
-		n, raddr, err := conn.ReadFromUDPAddrPort(buf)
+		n, raddr, err := conn.ReadFromUDPAddrPort(*bp)
 		if err != nil {
-			select {
-			case <-done:
-			default:
-			}
+			pktPool.Put(bp)
 			return err
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
 		s.handlers.Add(1)
 		go func() {
 			defer s.handlers.Done()
-			s.handle(conn, raddr, pkt)
+			defer pktPool.Put(bp)
+			s.handle(conn, raddr, (*bp)[:n])
 		}()
 	}
 }
@@ -152,6 +161,10 @@ func (s *Server) Drain(timeout time.Duration) bool {
 	}
 }
 
+// encPool recycles dnswire Encoders (output buffer + compression map) so
+// steady-state response serialization is allocation-free per handler.
+var encPool = sync.Pool{New: func() any { return new(dnswire.Encoder) }}
+
 func (s *Server) handle(conn *net.UDPConn, raddr netip.AddrPort, pkt []byte) {
 	logf := s.Logf
 	if logf == nil {
@@ -170,12 +183,14 @@ func (s *Server) handle(conn *net.UDPConn, raddr netip.AddrPort, pkt []byte) {
 		resp = query.Reply()
 		resp.Header.RCode = dnswire.RCodeRefused
 	}
-	out, err := resp.Pack()
+	enc := encPool.Get().(*dnswire.Encoder)
+	defer encPool.Put(enc) // out aliases enc's buffer; the write below happens first
+	out, err := enc.Encode(resp)
 	if err != nil {
 		logf("dnsserver: %s: pack response: %v", raddr, err)
 		resp = query.Reply()
 		resp.Header.RCode = dnswire.RCodeServFail
-		if out, err = resp.Pack(); err != nil {
+		if out, err = enc.Encode(resp); err != nil {
 			return
 		}
 	}

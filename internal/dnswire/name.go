@@ -3,7 +3,6 @@ package dnswire
 import (
 	"bytes"
 	"errors"
-	"fmt"
 	"strings"
 )
 
@@ -21,6 +20,10 @@ var (
 	ErrPointerLoop   = errors.New("dnswire: compression pointer loop")
 	ErrNameTruncated = errors.New("dnswire: truncated name")
 	ErrTooManyLabels = errors.New("dnswire: too many labels")
+	// ErrReservedLabel and ErrLabelDot are sentinel (not fmt-built) errors
+	// because they are returned from the //lint:hotpath decode path.
+	ErrReservedLabel = errors.New("dnswire: reserved label type")
+	ErrLabelDot      = errors.New("dnswire: label contains '.'")
 )
 
 const (
@@ -72,40 +75,99 @@ func (n Name) String() string {
 }
 
 // validate checks label and total-length constraints.
+//
+//lint:hotpath called from appendName on every encoded name
 func (n Name) validate() error {
-	labels := n.Labels()
-	wireLen := 1 // terminating root byte
-	for _, l := range labels {
-		if l == "" {
-			return ErrEmptyLabel
+	s := trimRoot(n)
+	if s == "" {
+		return nil
+	}
+	// Wire length is presentation length + 2 (k length octets plus the
+	// root byte, minus the k-1 presentation dots).
+	if len(s)+2 > maxNameWire {
+		return ErrNameTooLong
+	}
+	labelLen := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			if labelLen == 0 {
+				return ErrEmptyLabel
+			}
+			labelLen = 0
+			continue
 		}
-		if len(l) > maxLabelWire {
+		labelLen++
+		if labelLen > maxLabelWire {
 			return ErrLabelTooLong
 		}
-		wireLen += 1 + len(l)
 	}
-	if wireLen > maxNameWire {
-		return ErrNameTooLong
+	if labelLen == 0 {
+		return ErrEmptyLabel
 	}
 	return nil
 }
 
+// trimRoot strips the optional trailing dot; the root name becomes "".
+func trimRoot(n Name) string {
+	s := string(n)
+	if strings.HasSuffix(s, ".") {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// lowerASCII returns s with ASCII uppercase letters lowered. It returns s
+// itself (no allocation) when s is already lowercase — the common case for
+// names flowing through the encoder. DNS case-insensitivity is ASCII-only
+// (RFC 4343), so non-ASCII bytes pass through untouched and the result is
+// always the same length as s, which keeps suffix offsets aligned.
+func lowerASCII(s string) string {
+	i := 0
+	for ; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			break
+		}
+	}
+	if i == len(s) {
+		return s
+	}
+	b := []byte(s)
+	for ; i < len(b); i++ {
+		if c := b[i]; 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
 // compressionMap tracks name suffixes already emitted into a message so
 // later occurrences can be replaced with 2-byte pointers (RFC 1035 §4.1.4).
+// Keys are lowercased suffixes; with an all-lowercase name they are tail
+// slices of the name string and cost no allocation.
 type compressionMap map[string]int
 
 // appendName appends the wire encoding of n to buf, using and updating the
 // compression map when cm is non-nil. msgStart is the index in buf where
 // the DNS message begins (names in this codec always start at 0, but the
 // parameter keeps the helper honest if the buffer carries a prefix).
+//
+// Labels are emitted in their original case; compression keys are
+// lowercased, so a pointer may substitute a differently-cased tail of an
+// earlier name — legal under RFC 1035 §2.3.3 case-insensitivity.
+//
+//lint:hotpath zero allocations with reused buf and cm and a lowercase name
 func appendName(buf []byte, n Name, cm compressionMap, msgStart int) ([]byte, error) {
 	if err := n.validate(); err != nil {
 		return nil, err
 	}
-	labels := n.Labels()
-	for i := range labels {
-		suffix := strings.ToLower(strings.Join(labels[i:], "."))
+	s := trimRoot(n)
+	if s == "" {
+		return append(buf, 0), nil
+	}
+	lower := lowerASCII(s)
+	for start := 0; start < len(s); {
 		if cm != nil {
+			suffix := lower[start:]
 			if off, ok := cm[suffix]; ok && off < 0x3FFF {
 				// Emit pointer to prior occurrence and stop.
 				buf = append(buf, 0xC0|byte(off>>8), byte(off))
@@ -115,24 +177,36 @@ func appendName(buf []byte, n Name, cm compressionMap, msgStart int) ([]byte, er
 				cm[suffix] = pos
 			}
 		}
-		buf = append(buf, byte(len(labels[i])))
-		buf = append(buf, labels[i]...)
+		end := strings.IndexByte(s[start:], '.')
+		if end < 0 {
+			end = len(s)
+		} else {
+			end += start
+		}
+		buf = append(buf, byte(end-start))
+		buf = append(buf, s[start:end]...)
+		start = end + 1
 	}
 	buf = append(buf, 0) // root
 	return buf, nil
 }
 
-// parseName decodes a possibly-compressed name starting at off within msg.
-// It returns the name and the offset just past the name's first encoding
-// (i.e. past the pointer if the name was compressed).
-func parseName(msg []byte, off int) (Name, int, error) {
-	var sb strings.Builder
+// decodeName decodes a possibly-compressed name starting at off within msg,
+// appending its presentation form to dst (which may be nil or a reused
+// buffer sliced to the caller's current length). It returns the extended
+// dst and the offset just past the name's first encoding (i.e. past the
+// pointer if the name was compressed). On error the returned dst may hold
+// a partial name; callers must treat it as scratch.
+//
+//lint:hotpath zero allocations once dst has grown to capacity
+func decodeName(msg []byte, off int, dst []byte) ([]byte, int, error) {
+	base := len(dst)
 	ptrBudget := 64 // generous loop guard: real names have far fewer jumps
 	end := -1       // offset after the first (non-pointer-target) encoding
 	pos := off
 	for {
 		if pos >= len(msg) {
-			return "", 0, ErrNameTruncated
+			return dst, 0, ErrNameTruncated
 		}
 		b := msg[pos]
 		switch {
@@ -140,10 +214,10 @@ func parseName(msg []byte, off int) (Name, int, error) {
 			if end < 0 {
 				end = pos + 1
 			}
-			return Name(sb.String()), end, nil
+			return dst, end, nil
 		case b&0xC0 == 0xC0:
 			if pos+1 >= len(msg) {
-				return "", 0, ErrNameTruncated
+				return dst, 0, ErrNameTruncated
 			}
 			target := int(b&0x3F)<<8 | int(msg[pos+1])
 			if end < 0 {
@@ -151,37 +225,46 @@ func parseName(msg []byte, off int) (Name, int, error) {
 			}
 			if target >= pos {
 				// Pointers must point strictly backwards.
-				return "", 0, ErrBadPointer
+				return dst, 0, ErrBadPointer
 			}
 			ptrBudget--
 			if ptrBudget <= 0 {
-				return "", 0, ErrPointerLoop
+				return dst, 0, ErrPointerLoop
 			}
 			pos = target
 		case b&0xC0 != 0:
-			return "", 0, fmt.Errorf("dnswire: reserved label type 0x%02x", b&0xC0)
+			return dst, 0, ErrReservedLabel
 		default:
 			l := int(b)
 			if pos+1+l > len(msg) {
-				return "", 0, ErrNameTruncated
+				return dst, 0, ErrNameTruncated
 			}
 			label := msg[pos+1 : pos+1+l]
 			// A '.' inside a wire label has no unambiguous presentation
 			// form: "a.b" as ONE label would re-encode as two. Reject it
 			// so every parsed Name round-trips through appendName.
 			if bytes.IndexByte(label, '.') >= 0 {
-				return "", 0, fmt.Errorf("dnswire: label contains '.'")
+				return dst, 0, ErrLabelDot
 			}
-			if sb.Len() > 0 {
-				sb.WriteByte('.')
+			if len(dst) > base {
+				dst = append(dst, '.')
 			}
-			sb.Write(label)
-			// Wire length is presentation length + 2 (k length octets plus
-			// the root byte, minus the k-1 presentation dots).
-			if sb.Len()+2 > maxNameWire {
-				return "", 0, ErrNameTooLong
+			dst = append(dst, label...)
+			// Same wire-length bound as validate: presentation length + 2.
+			if len(dst)-base+2 > maxNameWire {
+				return dst, 0, ErrNameTooLong
 			}
 			pos += 1 + l
 		}
 	}
+}
+
+// parseName is decodeName materialized into an immutable Name. The one
+// []byte→string conversion here is the only allocation of the decode path.
+func parseName(msg []byte, off int) (Name, int, error) {
+	b, end, err := decodeName(msg, off, nil)
+	if err != nil {
+		return "", 0, err
+	}
+	return Name(b), end, nil
 }
