@@ -116,12 +116,35 @@ func (p *pairsAgg) stats() PairStats {
 		ExternalSlash24s: len(p.ext24),
 		Pairs:            make(map[[2]netip.Addr]int, len(p.pairs)),
 	}
-	for k, n := range p.pairs {
-		ps.Pairs[k] = n
+	pairKeys := make([][2]netip.Addr, 0, len(p.pairs))
+	for k := range p.pairs {
+		pairKeys = append(pairKeys, k)
 	}
-	// Integer counts summed through floats: exact in any group order.
+	sort.Slice(pairKeys, func(i, j int) bool {
+		if pairKeys[i][0] != pairKeys[j][0] {
+			return pairKeys[i][0].Less(pairKeys[j][0])
+		}
+		return pairKeys[i][1].Less(pairKeys[j][1])
+	})
+	for _, k := range pairKeys {
+		ps.Pairs[k] = p.pairs[k]
+	}
+	// Integer counts summed through floats stay exact in any group order,
+	// but the aggpurity sorted-iteration invariant keeps the accumulation
+	// replay-stable even if the arithmetic ever stops being exact.
+	groupKeys := make([]pairGroup, 0, len(p.groups))
+	for g := range p.groups {
+		groupKeys = append(groupKeys, g)
+	}
+	sort.Slice(groupKeys, func(i, j int) bool {
+		if groupKeys[i].client != groupKeys[j].client {
+			return groupKeys[i].client < groupKeys[j].client
+		}
+		return groupKeys[i].configured.Less(groupKeys[j].configured)
+	})
 	var weighted, total float64
-	for _, externals := range p.groups {
+	for _, g := range groupKeys {
+		externals := p.groups[g]
 		sum, max := 0, 0
 		for _, n := range externals {
 			sum += n
@@ -650,9 +673,14 @@ func (ea *egressAgg) Merge(other engine.Aggregator) {
 func (ea *egressAgg) Result() any { return ea.points() }
 
 func (ea *egressAgg) points() map[netip.Addr]int {
+	addrs := make([]netip.Addr, 0, len(ea.pts))
+	for a := range ea.pts {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
 	out := make(map[netip.Addr]int, len(ea.pts))
-	for a, n := range ea.pts {
-		out[a] = n
+	for _, a := range addrs {
+		out[a] = ea.pts[a]
 	}
 	return out
 }

@@ -241,8 +241,8 @@ func (g *Grouped) Merge(other Aggregator) {
 // Result returns each group's result keyed by group.
 func (g *Grouped) Result() any {
 	out := make(map[string]any, len(g.groups))
-	for k, child := range g.groups {
-		out[k] = child.Result()
+	for _, k := range g.Keys() {
+		out[k] = g.groups[k].Result()
 	}
 	return out
 }
