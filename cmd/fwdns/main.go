@@ -41,14 +41,29 @@ func main() {
 	fwd := forwarder.New(up, client)
 	fwd.MaxTTL = *maxTTL
 
+	// The stats logger gets an explicit stop/join pair: time.Tick would
+	// leak its ticker, and an unjoined goroutine could interleave a stats
+	// line with the final drain report below.
+	statsStop := make(chan struct{})
+	statsDone := make(chan struct{})
 	if *statsEvery > 0 {
+		ticker := time.NewTicker(*statsEvery)
 		go func() {
-			for range time.Tick(*statsEvery) {
-				hits, misses := fwd.Stats()
-				live := fwd.Purge()
-				log.Printf("fwdns: %d hits, %d misses, %d live entries", hits, misses, live)
+			defer close(statsDone)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					hits, misses := fwd.Stats()
+					live := fwd.Purge()
+					log.Printf("fwdns: %d hits, %d misses, %d live entries", hits, misses, live)
+				case <-statsStop:
+					return
+				}
 			}
 		}()
+	} else {
+		close(statsDone)
 	}
 
 	srv := &dnsserver.Server{Handler: fwd, Logf: log.Printf}
@@ -68,6 +83,8 @@ func main() {
 		// final cache stats so short sessions still report hit rates.
 		log.Printf("fwdns: %s — draining", s)
 		ok := srv.Drain(5 * time.Second)
+		close(statsStop)
+		<-statsDone
 		hits, misses := fwd.Stats()
 		log.Printf("fwdns: final: %d hits, %d misses", hits, misses)
 		if !ok {
