@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// A baseline records accepted findings so a new gate can be adopted on a
+// codebase with known debt: baselined findings don't fail the run, any
+// finding NOT in the baseline fails it, and a baseline entry that no
+// longer matches a finding is stale and fails too — debt can only
+// shrink.
+//
+// Matching is a multiset over (file, analyzer, message), deliberately
+// excluding line numbers: unrelated edits above a finding must not churn
+// the baseline, while two identical findings need two entries.
+const baselineVersion = 1
+
+type baselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+// baselineKey converts a finding to its matching key, with the file
+// path made module-relative so baselines are machine-portable.
+func baselineKey(f Finding, modRoot string) baselineEntry {
+	return baselineEntry{File: modRel(modRoot, f.Pos.Filename), Analyzer: f.Analyzer, Message: f.Message}
+}
+
+func modRel(modRoot, path string) string {
+	if rel, err := filepath.Rel(modRoot, path); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}
+
+func loadBaseline(path string) (*baselineFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baselineFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s has version %d, want %d", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// writeBaseline serializes the current findings (already sorted) as the
+// new baseline.
+func writeBaseline(path string, findings []Finding, modRoot string) error {
+	b := baselineFile{Version: baselineVersion, Findings: make([]baselineEntry, 0, len(findings))}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, baselineKey(f, modRoot))
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// applyBaseline splits findings into fresh (unbaselined — fail) and
+// returns the stale leftover entries (baselined but no longer found —
+// also fail). Accepted findings are dropped.
+func applyBaseline(b *baselineFile, findings []Finding, modRoot string) (fresh []Finding, stale []baselineEntry) {
+	counts := make(map[baselineEntry]int, len(b.Findings))
+	for _, e := range b.Findings {
+		counts[e]++
+	}
+	for _, f := range findings {
+		k := baselineKey(f, modRoot)
+		if counts[k] > 0 {
+			counts[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.Findings {
+		if counts[e] > 0 {
+			counts[e]--
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

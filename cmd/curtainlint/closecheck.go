@@ -9,7 +9,9 @@ var analyzerCloseCheck = &Analyzer{
 	Name: "closecheck",
 	Doc: "Close() errors must be checked (or explicitly discarded), and a " +
 		"conn/file opened in a function must be closed there unless it escapes",
-	Run: runCloseCheck,
+	Severity: "warning",
+	URL:      "DESIGN.md#6-static-analysis--determinism-policy",
+	Run:      runCloseCheck,
 }
 
 func runCloseCheck(pass *Pass) {

@@ -11,13 +11,24 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Finding is one reported problem.
+// Finding is one reported problem. Edits, when present, are the
+// byte-offset splices -fix applies to make the finding go away.
 type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Edits    []textEdit
+}
+
+// textEdit replaces file bytes [Start, End) with New. Insertions use
+// Start == End.
+type textEdit struct {
+	File       string
+	Start, End int
+	New        string
 }
 
 // Pass carries one type-checked package through one analyzer run.
@@ -41,10 +52,29 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFix records a finding carrying autofix edits.
+func (p *Pass) ReportFix(pos token.Pos, edits []textEdit, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+		Edits:    edits,
+	})
+}
+
+// offsetOf converts a token.Pos to its byte offset within its file.
+func (p *Pass) offsetOf(pos token.Pos) int { return p.Fset.Position(pos).Offset }
+
 // Analyzer is one named check.
 type Analyzer struct {
 	Name string
 	Doc  string
+	// Severity is "error" (breaks the invariants the reproduction depends
+	// on) or "warning" (hygiene). Both fail the run; the JSON output and
+	// baselines carry the distinction.
+	Severity string
+	// URL points at the analyzer's contract documentation.
+	URL string
 	// Dirs restricts the analyzer to these module-relative package dirs;
 	// nil means every package.
 	Dirs []string
@@ -81,8 +111,9 @@ type loader struct {
 	modPath      string // module path from go.mod ("" in standalone fixture mode)
 	includeTests bool
 	std          types.Importer
+	stdMu        sync.Mutex            // go/importer's default importer is not concurrency-safe
 	pkgs         map[string]*loadedPkg // keyed by absolute dir
-	loading      map[string]bool       // cycle guard
+	loading      map[string]bool       // cycle guard (serial load path)
 }
 
 func newLoader(modRoot, modPath string, includeTests bool) *loader {
@@ -205,7 +236,8 @@ func expandPatterns(base string, patterns []string) ([]string, error) {
 			dirs = append(dirs, abs)
 		}
 	}
-	for _, p := range patterns {
+	for _, orig := range patterns {
+		p := orig
 		recursive := false
 		if p == "..." || strings.HasSuffix(p, "/...") {
 			recursive = true
@@ -226,6 +258,10 @@ func expandPatterns(base string, patterns []string) ([]string, error) {
 			}
 			continue
 		}
+		// Count matches per pattern: a recursive pattern over a missing or
+		// Go-free tree must be a load error (exit 2), not a silent clean
+		// pass — CI gates depend on "lint ran over something".
+		matched := 0
 		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 			if err != nil {
 				return err
@@ -238,12 +274,16 @@ func expandPatterns(base string, patterns []string) ([]string, error) {
 				return filepath.SkipDir
 			}
 			if hasGoFiles(path) {
+				matched++
 				add(path)
 			}
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("pattern %q: %w", orig, err)
+		}
+		if matched == 0 {
+			return nil, fmt.Errorf("no Go packages match pattern %q", orig)
 		}
 	}
 	sort.Strings(dirs)
@@ -394,7 +434,9 @@ func filterIgnored(findings []Finding, directives []ignoreDirective) []Finding {
 	return out
 }
 
-// sortFindings orders findings by position for stable output.
+// sortFindings orders findings by (file, line, analyzer, column) — the
+// documented JSON order; analyzer before column so two analyzers
+// flagging one line always serialize the same way.
 func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -404,9 +446,9 @@ func sortFindings(findings []Finding) {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
 		}
-		return a.Analyzer < b.Analyzer
+		return a.Pos.Column < b.Pos.Column
 	})
 }

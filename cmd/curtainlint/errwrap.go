@@ -10,7 +10,9 @@ var analyzerErrWrap = &Analyzer{
 	Name: "errwrap",
 	Doc: "fmt.Errorf formatting an error value must use %w so callers can " +
 		"errors.Is/As through the wrap",
-	Run: runErrWrap,
+	Severity: "warning",
+	URL:      "DESIGN.md#6-static-analysis--determinism-policy",
+	Run:      runErrWrap,
 }
 
 func runErrWrap(pass *Pass) {
@@ -28,7 +30,7 @@ func runErrWrap(pass *Pass) {
 			if !ok {
 				return true
 			}
-			verbs, ok := formatVerbs(format)
+			verbs, _, ok := formatVerbs(format)
 			if !ok || len(verbs) != len(call.Args)-1 {
 				return true
 			}
@@ -39,12 +41,37 @@ func runErrWrap(pass *Pass) {
 				}
 				switch verb {
 				case 'v', 's', 'q':
-					pass.Reportf(arg.Pos(), "error %s formatted with %%%c; use %%w so the cause survives wrapping", exprString(arg), verb)
+					edits := errwrapFix(pass, call, i)
+					pass.ReportFix(arg.Pos(), edits, "error %s formatted with %%%c; use %%w so the cause survives wrapping", exprString(arg), verb)
 				}
 			}
 			return true
 		})
 	}
+}
+
+// errwrapFix builds the one-byte splice replacing the i-th verb with w,
+// when the format is a plain string literal. Literals containing escape
+// sequences are left alone: source offsets and value offsets diverge.
+func errwrapFix(pass *Pass, call *ast.CallExpr, i int) []textEdit {
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || strings.ContainsRune(lit.Value, '\\') {
+		return nil
+	}
+	// The quoted source text scans the same as the value: without escapes
+	// every byte is literal, so the verb offsets line up 1:1 (shifted past
+	// the opening quote, which the scan walks over as a non-% byte).
+	_, offs, ok := formatVerbs(lit.Value)
+	if !ok || i >= len(offs) {
+		return nil
+	}
+	pos := pass.Fset.Position(lit.Pos())
+	return []textEdit{{
+		File:  pos.Filename,
+		Start: pos.Offset + offs[i],
+		End:   pos.Offset + offs[i] + 1,
+		New:   "w",
+	}}
 }
 
 // constantString resolves expr to a compile-time string value.
@@ -57,10 +84,12 @@ func constantString(pass *Pass, expr ast.Expr) (string, bool) {
 }
 
 // formatVerbs extracts the argument-consuming verbs of a Printf-style
-// format string, in order. It bails out (ok=false) on explicit argument
-// indexes and * width/precision, which break positional alignment.
-func formatVerbs(format string) ([]rune, bool) {
+// format string, in order, with each verb's byte offset. It bails out
+// (ok=false) on explicit argument indexes and * width/precision, which
+// break positional alignment.
+func formatVerbs(format string) ([]rune, []int, bool) {
 	var verbs []rune
+	var offs []int
 	for i := 0; i < len(format); i++ {
 		if format[i] != '%' {
 			continue
@@ -80,9 +109,10 @@ func formatVerbs(format string) ([]rune, bool) {
 			break
 		}
 		if format[i] == '[' || format[i] == '*' {
-			return nil, false
+			return nil, nil, false
 		}
 		verbs = append(verbs, rune(format[i]))
+		offs = append(offs, i)
 	}
-	return verbs, true
+	return verbs, offs, true
 }

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// applyFixes splices every finding's edits into the source files.
+// Identical edits are deduplicated (several findings may schedule the
+// same helper insertion); overlapping edits are skipped with a note so
+// one bad splice cannot corrupt a file. Returns the number of files
+// rewritten.
+func applyFixes(findings []Finding, stderr io.Writer) (int, error) {
+	byFile := map[string][]textEdit{}
+	seen := map[textEdit]bool{}
+	for _, f := range findings {
+		for _, e := range f.Edits {
+			if e.File == "" || seen[e] {
+				continue
+			}
+			seen[e] = true
+			byFile[e.File] = append(byFile[e.File], e)
+		}
+	}
+	paths := make([]string, 0, len(byFile))
+	for p := range byFile {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	changed := 0
+	for _, path := range paths {
+		edits := byFile[path]
+		// Apply back-to-front so earlier offsets stay valid.
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start > edits[j].Start
+			}
+			if edits[i].End != edits[j].End {
+				return edits[i].End > edits[j].End
+			}
+			return edits[i].New > edits[j].New
+		})
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return changed, err
+		}
+		out := src
+		// minStart is the start of the last (leftmost-so-far) applied edit;
+		// an edit reaching past it overlaps and is skipped.
+		minStart := len(src) + 1
+		applied := 0
+		for _, e := range edits {
+			if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+				fmt.Fprintf(stderr, "curtainlint: -fix skipping out-of-range edit in %s\n", path)
+				continue
+			}
+			if e.End > minStart {
+				fmt.Fprintf(stderr, "curtainlint: -fix skipping overlapping edit in %s at offset %d\n", path, e.Start)
+				continue
+			}
+			out = append(out[:e.Start:e.Start], append([]byte(e.New), out[e.End:]...)...)
+			minStart = e.Start
+			applied++
+		}
+		if applied == 0 {
+			continue
+		}
+		mode := os.FileMode(0o644)
+		if fi, err := os.Stat(path); err == nil {
+			mode = fi.Mode().Perm()
+		}
+		if err := os.WriteFile(path, out, mode); err != nil {
+			return changed, err
+		}
+		changed++
+	}
+	return changed, nil
+}
+
+// hasFixes reports whether any finding carries edits.
+func hasFixes(findings []Finding) bool {
+	for _, f := range findings {
+		if len(f.Edits) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// sortFixState tracks per-package autofix bookkeeping for the
+// sorted-keys rewrite: the sortedLintKeys helper must be inserted at
+// most once per package.
+type sortFixState struct {
+	helperPlanned bool
+}
+
+// sortedKeysHelper is the generic helper -fix inserts; the call sites it
+// rewrites need no new imports, only the file receiving the helper does.
+const sortedKeysHelper = `
+
+// sortedLintKeys returns m's keys in ascending order. Inserted by
+// curtainlint -fix to make map iteration deterministic.
+func sortedLintKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+`
+
+// sortedKeysFix rewrites `for k[, v] := range m { ... }` over an
+// ordered-key map into
+//
+//	for _, k := range sortedLintKeys(m) {
+//		v := m[k]
+//		...
+//	}
+//
+// inserting the sortedLintKeys helper (plus its cmp/slices imports) into
+// the finding's file the first time the package needs it. Returns nil
+// when the shape is not safely rewritable (blank or non-ident key,
+// non-ordered key type, assignment instead of definition).
+func sortedKeysFix(pass *Pass, rng *ast.RangeStmt, fix *sortFixState) []textEdit {
+	if fix == nil || rng.Tok != token.DEFINE {
+		return nil
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return nil
+	}
+	var value *ast.Ident
+	if rng.Value != nil {
+		if value, ok = rng.Value.(*ast.Ident); !ok || value.Name == "_" {
+			return nil
+		}
+	}
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	if !ok || !orderedBasic(m.Key()) {
+		return nil
+	}
+	pos := pass.Fset.Position(rng.Pos())
+	file := pos.Filename
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return nil
+	}
+	xStart, xEnd := pass.offsetOf(rng.X.Pos()), pass.offsetOf(rng.X.End())
+	if xStart < 0 || xEnd > len(src) || xStart > xEnd {
+		return nil
+	}
+	mSrc := string(src[xStart:xEnd])
+
+	var edits []textEdit
+	// Header: `k[, v] := range m` -> `_, k := range sortedLintKeys(m)`.
+	edits = append(edits, textEdit{
+		File:  file,
+		Start: pass.offsetOf(rng.Key.Pos()),
+		End:   xEnd,
+		New:   "_, " + key.Name + " := range sortedLintKeys(" + mSrc + ")",
+	})
+	if value != nil {
+		// Re-derive the value at the top of the body; the range line's
+		// column approximates one indent level below it.
+		indent := strings.Repeat("\t", pos.Column)
+		edits = append(edits, textEdit{
+			File:  file,
+			Start: pass.offsetOf(rng.Body.Lbrace) + 1,
+			End:   pass.offsetOf(rng.Body.Lbrace) + 1,
+			New:   "\n" + indent + value.Name + " := " + mSrc + "[" + key.Name + "]",
+		})
+	}
+	if !fix.helperPlanned && pass.Pkg.Scope().Lookup("sortedLintKeys") == nil {
+		fix.helperPlanned = true
+		f := fileOf(pass, rng.Pos())
+		if f == nil {
+			return nil
+		}
+		helperFile := pass.Fset.Position(f.Pos()).Filename
+		edits = append(edits, textEdit{
+			File:  helperFile,
+			Start: pass.offsetOf(f.End()),
+			End:   pass.offsetOf(f.End()),
+			New:   sortedKeysHelper,
+		})
+		if imp := missingImports(f, "cmp", "slices"); len(imp) > 0 {
+			var b strings.Builder
+			b.WriteString("\n\nimport (\n")
+			for _, p := range imp {
+				b.WriteString("\t\"" + p + "\"\n")
+			}
+			b.WriteString(")")
+			at := pass.offsetOf(f.Name.End())
+			edits = append(edits, textEdit{File: helperFile, Start: at, End: at, New: b.String()})
+		}
+	}
+	return edits
+}
+
+// orderedBasic reports whether t is a basic type cmp.Ordered accepts.
+func orderedBasic(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsOrdered) != 0
+}
+
+// fileOf returns the pass file containing pos.
+func fileOf(pass *Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// missingImports returns the subset of paths the file does not import.
+func missingImports(f *ast.File, paths ...string) []string {
+	have := map[string]bool{}
+	for _, imp := range f.Imports {
+		have[strings.Trim(imp.Path.Value, `"`)] = true
+	}
+	var out []string
+	for _, p := range paths {
+		if !have[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

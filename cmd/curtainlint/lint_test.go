@@ -50,6 +50,12 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"closecheck_clean", []*Analyzer{analyzerCloseCheck}},
 		{"errwrap_bad", []*Analyzer{analyzerErrWrap}},
 		{"errwrap_clean", []*Analyzer{analyzerErrWrap}},
+		{"hotpath_bad", []*Analyzer{analyzerHotPath}},
+		{"hotpath_clean", []*Analyzer{analyzerHotPath}},
+		{"aggpurity_bad", []*Analyzer{analyzerAggPurity}},
+		{"aggpurity_clean", []*Analyzer{analyzerAggPurity}},
+		{"goroutine_bad", []*Analyzer{analyzerGoroutine}},
+		{"goroutine_clean", []*Analyzer{analyzerGoroutine}},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
@@ -157,9 +163,17 @@ func TestFormatVerbs(t *testing.T) {
 		{"%*d", "", false},
 	}
 	for _, c := range cases {
-		verbs, ok := formatVerbs(c.format)
+		verbs, offs, ok := formatVerbs(c.format)
 		if ok != c.ok || string(verbs) != c.verbs {
 			t.Errorf("formatVerbs(%q) = %q, %v; want %q, %v", c.format, string(verbs), ok, c.verbs, c.ok)
+		}
+		if len(offs) != len(verbs) {
+			t.Errorf("formatVerbs(%q): %d offsets for %d verbs", c.format, len(offs), len(verbs))
+		}
+		for i, off := range offs {
+			if rune(c.format[off]) != verbs[i] {
+				t.Errorf("formatVerbs(%q): offset %d points at %q, want %q", c.format, off, c.format[off], verbs[i])
+			}
 		}
 	}
 }

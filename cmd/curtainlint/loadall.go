@@ -1,0 +1,307 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// loadAll parses and type-checks the requested package dirs plus their
+// module-internal import closure, in parallel:
+//
+//   - parse phase: every discovered dir parses concurrently
+//     (token.FileSet is safe for concurrent AddFile);
+//   - check phase: the module-internal dependency DAG is leveled with
+//     Kahn's algorithm and each level type-checks concurrently — a
+//     package only starts once every internal dependency's
+//     *types.Package exists, so checks never block on each other.
+//
+// Errors are deterministic regardless of scheduling: they are collected
+// per-dir and reported in sorted dir order; packages downstream of a
+// failed dependency are skipped rather than reported as cascade noise.
+// The result slice holds the requested dirs, in the order given.
+func (l *loader) loadAll(reqDirs []string) ([]*loadedPkg, error) {
+	type parsedDir struct {
+		files []*ast.File
+		names []string
+		deps  []string // module-internal dep dirs, absolute, deduped
+		err   error
+	}
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		seen   = map[string]bool{}
+		parsed = map[string]*parsedDir{}
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var enqueue func(dirs []string)
+	parseOne := func(dir string) {
+		sem <- struct{}{}
+		pd := &parsedDir{}
+		pd.files, pd.names, pd.err = l.parseDir(dir)
+		if pd.err == nil && len(pd.files) == 0 {
+			pd.err = fmt.Errorf("no buildable Go files in %s", dir)
+		}
+		if pd.err == nil {
+			pd.deps = l.internalDeps(pd.files, dir)
+		}
+		<-sem
+		mu.Lock()
+		parsed[dir] = pd
+		mu.Unlock()
+		enqueue(pd.deps)
+	}
+	enqueue = func(dirs []string) {
+		mu.Lock()
+		var fresh []string
+		for _, d := range dirs {
+			if !seen[d] {
+				seen[d] = true
+				fresh = append(fresh, d)
+			}
+		}
+		mu.Unlock()
+		for _, d := range fresh {
+			wg.Add(1)
+			go func(d string) {
+				defer wg.Done()
+				parseOne(d)
+			}(d)
+		}
+	}
+	abs := make([]string, len(reqDirs))
+	for i, d := range reqDirs {
+		a, err := filepath.Abs(d)
+		if err != nil {
+			return nil, err
+		}
+		abs[i] = a
+	}
+	enqueue(abs)
+	wg.Wait()
+
+	allDirs := make([]string, 0, len(parsed))
+	for d := range parsed {
+		allDirs = append(allDirs, d)
+	}
+	sort.Strings(allDirs)
+
+	// Level the DAG. indeg counts internal deps; a level holds every dir
+	// whose deps all sit in earlier levels.
+	indeg := make(map[string]int, len(parsed))
+	dependents := make(map[string][]string, len(parsed))
+	for _, dir := range allDirs {
+		pd := parsed[dir]
+		n := 0
+		for _, dep := range pd.deps {
+			if dep == dir {
+				continue
+			}
+			n++
+			dependents[dep] = append(dependents[dep], dir)
+		}
+		indeg[dir] = n
+	}
+	var levels [][]string
+	frontier := make([]string, 0, len(allDirs))
+	for _, dir := range allDirs {
+		if indeg[dir] == 0 {
+			frontier = append(frontier, dir)
+		}
+	}
+	leveled := 0
+	for len(frontier) > 0 {
+		sort.Strings(frontier)
+		levels = append(levels, frontier)
+		leveled += len(frontier)
+		var next []string
+		for _, dir := range frontier {
+			for _, dep := range dependents[dir] {
+				indeg[dep]--
+				if indeg[dep] == 0 {
+					next = append(next, dep)
+				}
+			}
+		}
+		frontier = next
+	}
+	if leveled < len(parsed) {
+		var cyc []string
+		for _, dir := range allDirs {
+			if indeg[dir] > 0 {
+				cyc = append(cyc, l.displayDir(dir))
+			}
+		}
+		return nil, fmt.Errorf("import cycle among %s", strings.Join(cyc, ", "))
+	}
+
+	// Check phase: per-level parallel type-checking.
+	var (
+		cmu     sync.Mutex
+		byPath  = map[string]*types.Package{}
+		checked = map[string]*loadedPkg{}
+		failed  = map[string]error{} // own parse/check error only
+		skipped = map[string]bool{}  // downstream of a failure
+	)
+	for _, level := range levels {
+		var lwg sync.WaitGroup
+		for _, dir := range level {
+			pd := parsed[dir]
+			if pd.err != nil {
+				failed[dir] = pd.err
+				continue
+			}
+			bad := false
+			for _, dep := range pd.deps {
+				if _, ok := failed[dep]; ok || skipped[dep] {
+					bad = true
+					break
+				}
+			}
+			if bad {
+				skipped[dir] = true
+				continue
+			}
+			lwg.Add(1)
+			go func(dir string, pd *parsedDir) {
+				defer lwg.Done()
+				sem <- struct{}{}
+				lp, err := l.checkParsed(dir, pd.files, pd.names, &cmu, byPath)
+				<-sem
+				cmu.Lock()
+				if err != nil {
+					failed[dir] = err
+				} else {
+					checked[dir] = lp
+					byPath[lp.pkg.Path()] = lp.pkg
+				}
+				cmu.Unlock()
+			}(dir, pd)
+		}
+		lwg.Wait()
+	}
+
+	if len(failed) > 0 {
+		var errs []error
+		for _, dir := range allDirs {
+			if err, ok := failed[dir]; ok {
+				errs = append(errs, err)
+			}
+		}
+		return nil, errors.Join(errs...)
+	}
+
+	out := make([]*loadedPkg, 0, len(abs))
+	for _, dir := range abs {
+		lp, ok := checked[dir]
+		if !ok {
+			return nil, fmt.Errorf("internal error: %s was never checked", dir)
+		}
+		out = append(out, lp)
+	}
+	mu.Lock()
+	for dir, lp := range checked {
+		l.pkgs[dir] = lp
+	}
+	mu.Unlock()
+	return out, nil
+}
+
+// checkParsed type-checks one already-parsed dir against the
+// already-checked dependency packages in byPath (guarded by cmu). The
+// std importer is serialized behind stdMu: go/importer's default
+// importer shares internal caches and is not safe for concurrent use.
+func (l *loader) checkParsed(dir string, files []*ast.File, names []string, cmu *sync.Mutex, byPath map[string]*types.Package) (*loadedPkg, error) {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	pkgPath := names[0]
+	if l.modPath != "" {
+		pkgPath = l.modPath
+		if rel != "." {
+			pkgPath += "/" + rel
+		}
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: &waveImporter{l: l, cmu: cmu, byPath: byPath}}
+	pkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", rel, err)
+	}
+	return &loadedPkg{dir: dir, relPath: rel, files: files, pkg: pkg, info: info}, nil
+}
+
+// waveImporter resolves module-internal imports from the packages
+// earlier waves already checked, and everything else through the shared
+// (mutex-guarded) std importer.
+type waveImporter struct {
+	l      *loader
+	cmu    *sync.Mutex
+	byPath map[string]*types.Package
+}
+
+func (w *waveImporter) Import(path string) (*types.Package, error) {
+	if w.l.modPath != "" && (path == w.l.modPath || strings.HasPrefix(path, w.l.modPath+"/")) {
+		w.cmu.Lock()
+		pkg := w.byPath[path]
+		w.cmu.Unlock()
+		if pkg == nil {
+			return nil, fmt.Errorf("internal import %s not yet type-checked", path)
+		}
+		return pkg, nil
+	}
+	w.l.stdMu.Lock()
+	defer w.l.stdMu.Unlock()
+	return w.l.std.Import(path)
+}
+
+// internalDeps extracts the deduped module-internal import dirs of a
+// parsed file set. Outside a module (fixture mode) there are none.
+func (l *loader) internalDeps(files []*ast.File, dir string) []string {
+	if l.modPath == "" {
+		return nil
+	}
+	seen := map[string]bool{}
+	var deps []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != l.modPath && !strings.HasPrefix(path, l.modPath+"/") {
+				continue
+			}
+			rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+			depDir := filepath.Join(l.modRoot, filepath.FromSlash(rel))
+			if depDir == dir || seen[depDir] {
+				continue
+			}
+			seen[depDir] = true
+			deps = append(deps, depDir)
+		}
+	}
+	sort.Strings(deps)
+	return deps
+}
+
+// displayDir shortens an absolute dir to module-relative for messages.
+func (l *loader) displayDir(dir string) string {
+	if rel, err := filepath.Rel(l.modRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return dir
+}

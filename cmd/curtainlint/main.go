@@ -1,22 +1,41 @@
 // Command curtainlint is the project's static-analysis gate. It enforces
 // the invariants the paper's reproduction depends on — deterministic
 // simulation/analysis output, deadlines on every blocking socket
-// operation, checked Close errors and %w error wrapping — with a
+// operation, checked Close errors, %w error wrapping, zero-alloc
+// hot paths, aggregator purity and goroutine hygiene — with a
 // stdlib-only driver (go/parser + go/types, no external analysis deps).
 //
 // Usage:
 //
-//	curtainlint [-json] [-tests] [-analyzers a,b] [packages]
+//	curtainlint [-json] [-tests] [-analyzers a,b] [-fix]
+//	            [-baseline file] [-write-baseline file] [packages]
 //
 // Packages default to ./... relative to the working directory. The exit
 // status is 0 when clean, 1 when findings were reported, 2 on load or
-// usage errors. Findings are suppressed by a comment on the flagged line
-// or the line above:
+// usage errors — including a pattern that matches no packages, so a
+// mistyped path cannot pass as a clean run. Findings are suppressed by a
+// comment on the flagged line or the line above:
 //
 //	//lint:ignore <analyzer>[,<analyzer>] <reason>
 //
 // The reason is mandatory; naming an unknown analyzer is itself a
 // finding, so stale suppressions surface instead of rotting.
+//
+// -fix applies the autofixes some analyzers attach (errwrap's %w verb
+// replacement, aggpurity's sorted-key iteration rewrite) and then
+// re-lints, reporting only what remains. A second -fix run is a no-op:
+// fixed sites no longer produce findings, so no edits are generated.
+//
+// -baseline loads an accepted-findings file (see baseline.go): findings
+// in the baseline pass, findings outside it fail, and baseline entries
+// that no longer occur fail as stale. -write-baseline snapshots the
+// current findings to a file and exits 0.
+//
+// JSON output is an array sorted by (file, line, analyzer, column):
+//
+//	{"file","line","col","analyzer","severity","doc","url","message"}
+//
+// where severity, doc and url come from the analyzer registry.
 package main
 
 import (
@@ -35,6 +54,9 @@ var allAnalyzers = []*Analyzer{
 	analyzerNetDeadline,
 	analyzerCloseCheck,
 	analyzerErrWrap,
+	analyzerHotPath,
+	analyzerAggPurity,
+	analyzerGoroutine,
 }
 
 func main() {
@@ -48,12 +70,15 @@ func run(args []string, stdout, stderr *os.File) int {
 	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	fix := fs.Bool("fix", false, "apply available autofixes, then re-lint and report what remains")
+	baselinePath := fs.String("baseline", "", "accepted-findings file: baselined findings pass, new and stale ones fail")
+	writeBaselinePath := fs.String("write-baseline", "", "write current findings to this baseline file and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
 		for _, a := range allAnalyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %-8s %s\n", a.Name, a.Severity, a.Doc)
 		}
 		return 0
 	}
@@ -83,46 +108,120 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	l := newLoader(modRoot, modPath, *tests)
-	var findings []Finding
-	for _, dir := range dirs {
-		lp, err := l.load(dir)
+	lint := func() ([]Finding, error) {
+		l := newLoader(modRoot, modPath, *tests)
+		pkgs, err := l.loadAll(dirs)
+		if err != nil {
+			return nil, err
+		}
+		var findings []Finding
+		for _, lp := range pkgs {
+			findings = append(findings, runAnalyzers(lp, l.fset, analyzers, false)...)
+		}
+		sortFindings(findings)
+		return findings, nil
+	}
+
+	findings, err := lint()
+	if err != nil {
+		fmt.Fprintln(stderr, "curtainlint:", err)
+		return 2
+	}
+
+	if *fix && hasFixes(findings) {
+		n, err := applyFixes(findings, stderr)
 		if err != nil {
 			fmt.Fprintln(stderr, "curtainlint:", err)
 			return 2
 		}
-		findings = append(findings, runAnalyzers(lp, l.fset, analyzers, false)...)
-	}
-	sortFindings(findings)
-
-	if *jsonOut {
-		type jsonFinding struct {
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Col      int    `json:"col"`
-			Analyzer string `json:"analyzer"`
-			Message  string `json:"message"`
-		}
-		out := make([]jsonFinding, 0, len(findings))
-		for _, f := range findings {
-			out = append(out, jsonFinding{relTo(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message})
-		}
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(stderr, "curtainlint: -fix rewrote %d file(s)\n", n)
+		if findings, err = lint(); err != nil {
 			fmt.Fprintln(stderr, "curtainlint:", err)
 			return 2
 		}
-	} else {
-		for _, f := range findings {
-			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", relTo(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
-		}
 	}
-	if len(findings) > 0 {
+
+	if *writeBaselinePath != "" {
+		if err := writeBaseline(*writeBaselinePath, findings, modRoot); err != nil {
+			fmt.Fprintln(stderr, "curtainlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "curtainlint: wrote %d finding(s) to %s\n", len(findings), *writeBaselinePath)
+		return 0
+	}
+
+	var stale []baselineEntry
+	if *baselinePath != "" {
+		b, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "curtainlint:", err)
+			return 2
+		}
+		findings, stale = applyBaseline(b, findings, modRoot)
+	}
+
+	printFindings(stdout, stderr, findings, *jsonOut, cwd)
+	for _, e := range stale {
+		fmt.Fprintf(stderr, "curtainlint: stale baseline entry: %s [%s] %s\n", e.File, e.Analyzer, e.Message)
+	}
+	switch {
+	case len(findings) > 0:
 		fmt.Fprintf(stderr, "curtainlint: %d finding(s)\n", len(findings))
+		return 1
+	case len(stale) > 0:
+		fmt.Fprintf(stderr, "curtainlint: %d stale baseline entr(ies); regenerate with -write-baseline\n", len(stale))
 		return 1
 	}
 	return 0
+}
+
+// printFindings renders findings as text or JSON. The JSON schema joins
+// each finding with its analyzer's severity, doc line and contract URL.
+func printFindings(stdout, stderr *os.File, findings []Finding, asJSON bool, cwd string) {
+	if !asJSON {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", relTo(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+		return
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range allAnalyzers {
+		byName[a.Name] = a
+	}
+	type jsonFinding struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Severity string `json:"severity"`
+		Doc      string `json:"doc"`
+		URL      string `json:"url,omitempty"`
+		Message  string `json:"message"`
+	}
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		jf := jsonFinding{
+			File:     relTo(cwd, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Severity: "error",
+			Message:  f.Message,
+		}
+		if a, ok := byName[f.Analyzer]; ok {
+			jf.Severity = a.Severity
+			jf.Doc = a.Doc
+			jf.URL = a.URL
+		} else if f.Analyzer == "directive" {
+			jf.Doc = "malformed //lint:ignore suppression"
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(stderr, "curtainlint:", err)
+	}
 }
 
 // selectAnalyzers resolves the -analyzers flag against the registry.

@@ -26,8 +26,10 @@ var analyzerNetDeadline = &Analyzer{
 	Name: "netdeadline",
 	Doc: "every conn Read/Write in the socket-facing packages must have a " +
 		"Set{Read,Write,}Deadline call reachable in the same function",
-	Dirs: netDeadlineDirs,
-	Run:  runNetDeadline,
+	Severity: "error",
+	URL:      "DESIGN.md#6-static-analysis--determinism-policy",
+	Dirs:     netDeadlineDirs,
+	Run:      runNetDeadline,
 }
 
 func runNetDeadline(pass *Pass) {

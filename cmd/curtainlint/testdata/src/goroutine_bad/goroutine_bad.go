@@ -1,0 +1,74 @@
+// Package fixture violates goroutine hygiene: unjoinable goroutines,
+// an invisible spawn target, timer leaks, and locks held across
+// network I/O.
+package fixture
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Fire spawns a goroutine nothing can wait for.
+func Fire() {
+	go func() {
+		_ = 1 + 1
+	}()
+}
+
+// loop has a visible body with no join evidence.
+func loop() {
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}
+
+// FireNamed spawns it.
+func FireNamed() {
+	go loop()
+}
+
+// External spawns a function whose body this package cannot see.
+func External() {
+	go time.Sleep(time.Second)
+}
+
+// Poll allocates one timer per loop iteration.
+func Poll(ch chan int, stop chan struct{}) {
+	for {
+		select {
+		case v := <-ch:
+			_ = v
+		case <-time.After(time.Second):
+			return
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Tick leaks its ticker.
+func Tick() <-chan time.Time {
+	return time.Tick(time.Second)
+}
+
+type pinger struct {
+	mu   sync.Mutex
+	conn *net.UDPConn
+}
+
+// Ping holds the lock (deferred unlock) across a conn write.
+func (p *pinger) Ping(buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.conn.Write(buf)
+	return err
+}
+
+// Recv holds the lock across a conn read before the plain unlock.
+func (p *pinger) Recv(buf []byte) (int, error) {
+	p.mu.Lock()
+	n, _, err := p.conn.ReadFromUDP(buf)
+	p.mu.Unlock()
+	return n, err
+}

@@ -1,0 +1,73 @@
+// Package fixture deliberately allocates inside //lint:hotpath
+// functions: makes, literals, conversions, concatenation, fmt, stdlib
+// allocators, unrooted appends, boxing, and one drifting annotation.
+package fixture
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+//lint:hotpath encode must reuse the caller's buffer
+func Encode(dst []byte, v uint16) []byte {
+	tmp := make([]byte, 2)
+	tmp[0], tmp[1] = byte(v>>8), byte(v)
+	return append(dst, tmp...)
+}
+
+//lint:hotpath
+func Concat(a, b string) string {
+	return a + b
+}
+
+//lint:hotpath
+func Convert(s string) []byte {
+	return []byte(s)
+}
+
+//lint:hotpath
+func Print(v int) {
+	fmt.Println(v)
+}
+
+//lint:hotpath
+func Grow(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+//lint:hotpath
+func Fields(s string) []string {
+	return strings.Split(s, ",")
+}
+
+//lint:hotpath
+func Itoa(v int) string {
+	return strconv.Itoa(v)
+}
+
+//lint:hotpath
+func Literal() []int {
+	return []int{1, 2, 3}
+}
+
+type point struct{ x, y int }
+
+//lint:hotpath
+func Escape() *point {
+	return &point{1, 2}
+}
+
+func sink(v any) any { return v }
+
+//lint:hotpath
+func Box(v int) any {
+	return sink(v)
+}
+
+//lint:hotpath this annotation attaches to a var, not a function
+var scratch [16]byte

@@ -1,0 +1,50 @@
+// Package fixture exercises the idioms a hot path may use: caller-owned
+// buffers, receiver-rooted appends, param aliases, pointer-shaped
+// boxing, slice forwarding, map-bucket reuse, and skipped closures.
+package fixture
+
+//lint:hotpath appends rooted in the caller's buffer amortize to zero
+func PutUint16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v>>8), byte(v))
+}
+
+type cache struct {
+	m   map[string]int
+	buf []byte
+}
+
+//lint:hotpath map inserts reuse buckets; the append is receiver-rooted
+func (c *cache) Add(k string, v int) {
+	c.m[k] = v
+	c.buf = append(c.buf, byte(v))
+}
+
+//lint:hotpath a local aliased from a parameter stays caller-owned
+func Reset(buf []byte) []byte {
+	b := buf[:0]
+	b = append(b, 1)
+	return b
+}
+
+func take(v any) any { return v }
+
+//lint:hotpath pointer-shaped values box without a heap copy
+func Pass(p *int) any {
+	return take(p)
+}
+
+func varargs(vs ...any) int { return len(vs) }
+
+//lint:hotpath forwarding an existing slice boxes nothing per element
+func Forward(args []any) int {
+	return varargs(args...)
+}
+
+//lint:hotpath closures are separate functions, not part of this budget
+func Spawn(done chan<- struct{}) {
+	go func() {
+		buf := make([]byte, 1)
+		_ = buf
+		done <- struct{}{}
+	}()
+}

@@ -18,8 +18,14 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> curtainlint ./..."
-go run ./cmd/curtainlint ./...
+echo "==> curtainlint self-lint (./cmd/curtainlint)"
+go run ./cmd/curtainlint ./cmd/curtainlint
+
+echo "==> curtainlint ./... (baseline: scripts/lint-baseline.json)"
+go run ./cmd/curtainlint -baseline scripts/lint-baseline.json ./...
+
+echo "==> hot-path zero-alloc proof (testing.AllocsPerRun)"
+go test -count=1 -run '^TestHotPathAllocs' ./internal/dnswire/
 
 echo "==> go test -race ./..."
 go test -race ./...
