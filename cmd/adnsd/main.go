@@ -29,6 +29,10 @@ func main() {
 	zone := flag.String("zone", string(adns.Zone), "zone to serve authoritatively")
 	records := flag.String("records", "", "optional file of static records served outside the whoami zone (one per line: <name> [ttl] <type> <rdata>)")
 	quiet := flag.Bool("quiet", false, "suppress per-query logging")
+	shards := flag.Int("shards", 1, "SO_REUSEPORT listener shards on the UDP port (Linux; >1 needs kernel support)")
+	workers := flag.Int("workers", 0, "handler goroutines per shard (0 = 2×GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "pending-query depth per shard before overload SERVFAILs (0 = 1024)")
+	batch := flag.Int("batch", 0, "packets per recvmmsg/sendmmsg syscall (0 = 32 on Linux; 1 = portable loop)")
 	flag.Parse()
 
 	whoami := adns.New(nil, nil)
@@ -52,20 +56,25 @@ func main() {
 		handler = dnsserver.Merge(dnswire.Name(*zone), whoamiHandler, static)
 	}
 
-	srv := &dnsserver.Server{
-		Handler: dnsserver.HandlerFunc(func(remote netip.AddrPort, q *dnswire.Message) *dnswire.Message {
-			resp := handler.ServeDNS(remote, q)
-			if !*quiet && len(q.Questions) == 1 && resp != nil {
-				log.Printf("query %s from %s -> rcode=%s", q.Questions[0].Name, remote, resp.Header.RCode)
-			}
-			return resp
-		}),
-	}
-	if !*quiet {
-		srv.Logf = log.Printf
-	}
+	logHandler := dnsserver.HandlerFunc(func(remote netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+		resp := handler.ServeDNS(remote, q)
+		if !*quiet && len(q.Questions) == 1 && resp != nil {
+			log.Printf("query %s from %s -> rcode=%s", q.Questions[0].Name, remote, resp.Header.RCode)
+		}
+		return resp
+	})
+	group := dnsserver.NewShardGroup(*shards, func(int) *dnsserver.Server {
+		srv := &dnsserver.Server{
+			Handler: logHandler,
+			Workers: *workers, Queue: *queue, Batch: *batch,
+		}
+		if !*quiet {
+			srv.Logf = log.Printf
+		}
+		return srv
+	})
 	// Serve the same zone over TCP for truncated-response retries.
-	tcpSrv := &dnsserver.TCPServer{Handler: srv.Handler}
+	tcpSrv := &dnsserver.TCPServer{Handler: logHandler}
 	if !*quiet {
 		tcpSrv.Logf = log.Printf
 	}
@@ -76,11 +85,11 @@ func main() {
 		}
 	}()
 	go func() {
-		if err := srv.ListenAndServe(*listen); err != nil {
+		if err := group.ListenAndServe(*listen); err != nil {
 			errCh <- err
 		}
 	}()
-	log.Printf("adnsd: serving zone %q on %s (udp+tcp)", *zone, *listen)
+	log.Printf("adnsd: serving zone %q on %s (udp+tcp, %d udp shard(s))", *zone, *listen, *shards)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -90,8 +99,11 @@ func main() {
 		// writing their responses, then exit. Serve errors after this point
 		// are the expected use-of-closed-connection, not failures.
 		log.Printf("adnsd: %s — draining", s)
-		udpOK := srv.Drain(5 * time.Second)
+		udpOK := group.Drain(5 * time.Second)
 		tcpOK := tcpSrv.Drain(5 * time.Second)
+		if sf, drops := group.OverloadStats(); sf > 0 || drops > 0 {
+			log.Printf("adnsd: overload: %d queries SERVFAILed, %d packets dropped", sf, drops)
+		}
 		if !udpOK || !tcpOK {
 			log.Printf("adnsd: drain deadline exceeded (udp=%v tcp=%v)", udpOK, tcpOK)
 			os.Exit(1)

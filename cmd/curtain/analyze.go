@@ -67,13 +67,13 @@ func runAnalyze(args []string) error {
 			return nil
 		}))
 		if err != nil {
-			return err
+			return fmt.Errorf("analyze: scan %s: %w", *in, err)
 		}
 		m = analysis.NewSliceMeasures(&ds, analysis.SuiteConfig{})
 	} else {
 		suite := analysis.NewSuite(analysis.SuiteConfig{})
 		if err := runStreaming(suite, *in, *parallel, wrap); err != nil {
-			return err
+			return fmt.Errorf("analyze: scan %s: %w", *in, err)
 		}
 		m = suite
 	}

@@ -43,6 +43,8 @@ func main() {
 		err = runSimulate(args)
 	case "analyze":
 		err = runAnalyze(args)
+	case "loadgen":
+		err = runLoadgen(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -70,6 +72,19 @@ commands:
   exp        regenerate one artifact: curtain exp -id F14
   simulate   run a campaign and write the raw dataset as JSONL
   analyze    offline analysis of a JSONL dataset (no simulation)
+  loadgen    hammer a DNS resolver at a target QPS and report latency
+
+flags (loadgen):
+  -target ADDR        resolver under test (default 127.0.0.1:5353)
+  -qps N              target aggregate queries per second (default 10000)
+  -duration D         send phase length (default 3s)
+  -conns N            UDP sockets; distinct source ports exercise
+                      SO_REUSEPORT sharding (default 4)
+  -zone Z             zone for the query names (default loadgen.example)
+  -names N            distinct names in the mix (default 1024)
+  -seed N             RNG seed; same seed = same query sequence
+  -timeout D          drain window; later responses count as timeouts
+  -json               one-line JSON report on stdout (for scripts)
 
 flags (analyze):
   -in PATH            JSONL dataset or campaign checkpoint directory

@@ -45,7 +45,7 @@ func modRel(modRoot, path string) string {
 func loadBaseline(path string) (*baselineFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("reading baseline: %w", err)
 	}
 	var b baselineFile
 	if err := json.Unmarshal(data, &b); err != nil {

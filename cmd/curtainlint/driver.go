@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -147,7 +148,7 @@ func (l *loader) Import(path string) (*types.Package, error) {
 func (l *loader) load(dir string) (*loadedPkg, error) {
 	dir, err := filepath.Abs(dir)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("resolving %s: %w", dir, err)
 	}
 	if lp, ok := l.pkgs[dir]; ok {
 		return lp, nil
@@ -160,7 +161,7 @@ func (l *loader) load(dir string) (*loadedPkg, error) {
 
 	files, names, err := l.parseDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("parsing %s: %w", dir, err)
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no buildable Go files in %s", dir)
@@ -168,7 +169,7 @@ func (l *loader) load(dir string) (*loadedPkg, error) {
 
 	rel, err := filepath.Rel(l.modRoot, dir)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("relativizing %s: %w", dir, err)
 	}
 	rel = filepath.ToSlash(rel)
 	pkgPath := names[0]
@@ -197,6 +198,10 @@ func (l *loader) load(dir string) (*loadedPkg, error) {
 // parseDir parses the buildable Go files of dir. Test files are skipped
 // unless includeTests is set, and external (_test-suffixed package) test
 // files are always skipped: they cannot join the package under check.
+// Build constraints (//go:build lines and _GOOS/_GOARCH file suffixes)
+// are evaluated for the host platform, so platform-split files — e.g.
+// dnsserver's recvmmsg path vs. its portable fallback — do not clash as
+// duplicate declarations in one parse.
 func (l *loader) parseDir(dir string) ([]*ast.File, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -211,6 +216,9 @@ func (l *loader) parseDir(dir string) ([]*ast.File, []string, error) {
 		isTest := strings.HasSuffix(e.Name(), "_test.go")
 		if isTest && !l.includeTests {
 			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil || !ok {
+			continue // not selected for the host GOOS/GOARCH (or unreadable; the parse below fails louder)
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {

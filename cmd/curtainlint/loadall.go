@@ -221,7 +221,7 @@ func (l *loader) loadAll(reqDirs []string) ([]*loadedPkg, error) {
 func (l *loader) checkParsed(dir string, files []*ast.File, names []string, cmu *sync.Mutex, byPath map[string]*types.Package) (*loadedPkg, error) {
 	rel, err := filepath.Rel(l.modRoot, dir)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("relativizing %s: %w", dir, err)
 	}
 	rel = filepath.ToSlash(rel)
 	pkgPath := names[0]

@@ -18,3 +18,29 @@ func WrapS(name string, err error) error {
 func WrapQ(err error) error {
 	return fmt.Errorf("parse: %q", err)
 }
+
+// open is a stand-in fallible step.
+func open() error { return nil }
+
+// InconsistentWrap wraps one failure path but returns the other bare:
+// the second path silently loses the context its sibling adds.
+func InconsistentWrap() error {
+	if err := open(); err != nil {
+		return fmt.Errorf("first step: %w", err)
+	}
+	if err := open(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// InconsistentMulti has the same hole across multi-value returns.
+func InconsistentMulti() (int, error) {
+	if err := open(); err != nil {
+		return 0, err
+	}
+	if err := open(); err != nil {
+		return 0, fmt.Errorf("second step: %w", err)
+	}
+	return 1, nil
+}

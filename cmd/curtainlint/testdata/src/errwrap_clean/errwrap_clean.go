@@ -22,3 +22,42 @@ func Multi(err1, err2 error) error {
 func Mixed(err error, attempt int) error {
 	return fmt.Errorf("attempt %d: %w", attempt, err)
 }
+
+// ErrClosed is a package-level sentinel.
+var ErrClosed = fmt.Errorf("closed")
+
+// open is a stand-in fallible step.
+func open() error { return nil }
+
+// SentinelBeside may return the sentinel bare next to a wrap: callers
+// errors.Is against the sentinel itself.
+func SentinelBeside() error {
+	if err := open(); err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	return ErrClosed
+}
+
+// PassThrough never wraps, so returning errors bare is a consistent,
+// deliberate style.
+func PassThrough() error {
+	if err := open(); err != nil {
+		return err
+	}
+	return open()
+}
+
+// ClosureScope wraps in the outer function while its closure passes
+// through: each function body is judged on its own returns.
+func ClosureScope() error {
+	retry := func() error {
+		if err := open(); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := retry(); err != nil {
+		return fmt.Errorf("retry: %w", err)
+	}
+	return nil
+}

@@ -30,6 +30,10 @@ func main() {
 	upstreamPort := flag.Uint("upstream-port", 53, "upstream resolver port")
 	maxTTL := flag.Duration("max-ttl", time.Hour, "cache lifetime cap")
 	statsEvery := flag.Duration("stats", time.Minute, "hit/miss log interval (0 = off)")
+	shards := flag.Int("shards", 1, "SO_REUSEPORT listener shards on the UDP port (Linux; >1 needs kernel support)")
+	workers := flag.Int("workers", 0, "handler goroutines per shard (0 = 2×GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "pending-query depth per shard before overload SERVFAILs (0 = 1024)")
+	batch := flag.Int("batch", 0, "packets per recvmmsg/sendmmsg syscall (0 = 32 on Linux; 1 = portable loop)")
 	flag.Parse()
 
 	up, err := netip.ParseAddr(*upstream)
@@ -66,14 +70,21 @@ func main() {
 		close(statsDone)
 	}
 
-	srv := &dnsserver.Server{Handler: fwd, Logf: log.Printf}
+	// All shards share the forwarder (and so one cache); the kernel's
+	// SO_REUSEPORT flow hash spreads clients across their read loops.
+	group := dnsserver.NewShardGroup(*shards, func(int) *dnsserver.Server {
+		return &dnsserver.Server{
+			Handler: fwd, Logf: log.Printf,
+			Workers: *workers, Queue: *queue, Batch: *batch,
+		}
+	})
 	errCh := make(chan error, 1)
 	go func() {
-		if err := srv.ListenAndServe(*listen); err != nil {
+		if err := group.ListenAndServe(*listen); err != nil {
 			errCh <- err
 		}
 	}()
-	log.Printf("fwdns: forwarding %s -> %s", *listen, up)
+	log.Printf("fwdns: forwarding %s -> %s (%d shard(s))", *listen, up, *shards)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -82,11 +93,14 @@ func main() {
 		// Drain: stop accepting, let in-flight forwards answer, log the
 		// final cache stats so short sessions still report hit rates.
 		log.Printf("fwdns: %s — draining", s)
-		ok := srv.Drain(5 * time.Second)
+		ok := group.Drain(5 * time.Second)
 		close(statsStop)
 		<-statsDone
 		hits, misses := fwd.Stats()
 		log.Printf("fwdns: final: %d hits, %d misses", hits, misses)
+		if sf, drops := group.OverloadStats(); sf > 0 || drops > 0 {
+			log.Printf("fwdns: overload: %d queries SERVFAILed, %d packets dropped", sf, drops)
+		}
 		if !ok {
 			log.Printf("fwdns: drain deadline exceeded")
 			os.Exit(1)

@@ -12,18 +12,25 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
+
+	"cellcurtain/internal/sockopt"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
 	name := flag.String("name", "replica0.local", "replica identity reported in responses")
 	delay := flag.Duration("delay", 0, "artificial processing delay (testing)")
+	shards := flag.Int("shards", 1, "SO_REUSEPORT accept loops on the listen port (Linux; >1 needs kernel support)")
 	flag.Parse()
+	if *shards < 1 {
+		*shards = 1
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -40,17 +47,29 @@ func main() {
 	})
 
 	srv := &http.Server{
-		Addr:              *listen,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	errCh := make(chan error, 1)
-	go func() {
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			errCh <- err
+	// With -shards > 1, N SO_REUSEPORT listeners share the port and the
+	// kernel spreads incoming connections across their accept loops; one
+	// http.Server serves them all, so Shutdown drains every listener.
+	errCh := make(chan error, *shards)
+	addr := *listen
+	for i := 0; i < *shards; i++ {
+		ln, err := sockopt.ListenTCP(addr, *shards > 1)
+		if err != nil {
+			log.Fatalf("replicad: shard %d: %v", i, err)
 		}
-	}()
-	log.Printf("replicad: %s serving on %s", *name, *listen)
+		if i == 0 {
+			addr = ln.Addr().String() // pin ":0" to the resolved port for the remaining shards
+		}
+		go func(ln net.Listener) {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				errCh <- err
+			}
+		}(ln)
+	}
+	log.Printf("replicad: %s serving on %s (%d shard(s))", *name, addr, *shards)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

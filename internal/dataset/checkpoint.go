@@ -79,7 +79,7 @@ func CreateCheckpoint(dir string, m Manifest, every int) (*Checkpoint, error) {
 	ck := newCheckpoint(dir, every, f, m)
 	if err := ck.writeManifestLocked(); err != nil {
 		_ = f.Close() // the manifest write error is the one to report
-		return nil, err
+		return nil, fmt.Errorf("dataset: checkpoint %s: manifest: %w", dir, err)
 	}
 	return ck, nil
 }
@@ -196,6 +196,7 @@ func (c *Checkpoint) Close() error {
 	serr := c.syncLocked()
 	cerr := c.f.Close()
 	if serr != nil {
+		//lint:ignore errwrap syncLocked errors already name the checkpoint and the failing phase
 		return serr
 	}
 	if cerr != nil {

@@ -56,6 +56,7 @@ func scanJSONL(r io.Reader, tolerateTorn bool, fn ScanFunc) (int, error) {
 				return 0, fmt.Errorf("dataset: line %d: %w", line, jerr)
 			}
 			if ferr := fn(e); ferr != nil {
+				//lint:ignore errwrap the yield callback's error belongs to the caller unwrapped
 				return 0, ferr
 			}
 		}
@@ -75,6 +76,7 @@ func ScanFile(path string, fn ScanFunc) error {
 	serr := Scan(f, fn)
 	cerr := f.Close()
 	if serr != nil {
+		//lint:ignore errwrap Scan errors are already contextual, and serr may be the caller's own ScanFunc error
 		return serr
 	}
 	if cerr != nil {
@@ -95,6 +97,7 @@ func ScanCheckpoint(dir string, fn ScanFunc) (int, error) {
 	discarded, serr := ScanTorn(f, fn)
 	cerr := f.Close()
 	if serr != nil {
+		//lint:ignore errwrap ScanTorn errors are already contextual, and serr may be the caller's own ScanFunc error
 		return 0, serr
 	}
 	if cerr != nil {
@@ -168,6 +171,7 @@ func ScanShard(s Shard, fn ScanFunc) error {
 	serr := scanShard(f, s, fn)
 	cerr := f.Close()
 	if serr != nil {
+		//lint:ignore errwrap scanShard errors already name the shard file; callback errors pass through unwrapped
 		return serr
 	}
 	if cerr != nil {
@@ -214,6 +218,7 @@ func scanShard(f *os.File, s Shard, fn ScanFunc) error {
 				return fmt.Errorf("dataset: %s: line at byte %d: %w", s.Path, lineStart, jerr)
 			}
 			if ferr := fn(e); ferr != nil {
+				//lint:ignore errwrap the yield callback's error belongs to the caller unwrapped
 				return ferr
 			}
 		}

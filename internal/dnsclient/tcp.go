@@ -39,7 +39,7 @@ func (t *TCPTransport) Exchange(server netip.Addr, payload []byte) ([]byte, time
 	}
 	defer conn.Close()
 	if err := conn.SetDeadline(start.Add(timeout)); err != nil {
-		return nil, 0, err
+		return nil, 0, fmt.Errorf("dnsclient: set deadline: %w", err)
 	}
 	framed := make([]byte, 2+len(payload))
 	binary.BigEndian.PutUint16(framed, uint16(len(payload)))

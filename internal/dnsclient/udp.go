@@ -5,6 +5,8 @@ import (
 	"net"
 	"net/netip"
 	"time"
+
+	"cellcurtain/internal/dnswire"
 )
 
 // UDPTransport exchanges DNS datagrams over real UDP sockets. It is used
@@ -38,16 +40,51 @@ func (u *UDPTransport) Exchange(server netip.Addr, payload []byte) ([]byte, time
 
 	start := time.Now()
 	if err := conn.SetDeadline(start.Add(timeout)); err != nil {
-		return nil, 0, err
+		return nil, 0, fmt.Errorf("dnsclient: set deadline: %w", err)
 	}
 	if _, err := conn.Write(payload); err != nil {
 		return nil, 0, fmt.Errorf("dnsclient: send: %w", err)
 	}
+	// Even on a connected socket, the first datagram back is not
+	// necessarily the answer: under load, late responses to earlier
+	// exchanges from the same source port (retries, previous attempts)
+	// arrive interleaved. Discard anything that does not match this
+	// query's ID and question, and keep reading until the deadline.
+	query, qerr := dnswire.Parse(payload)
 	buf := make([]byte, 4096)
-	n, err := conn.Read(buf)
-	rtt := time.Since(start)
-	if err != nil {
-		return nil, rtt, fmt.Errorf("dnsclient: recv: %w", err)
+	for {
+		n, err := conn.Read(buf)
+		rtt := time.Since(start)
+		if err != nil {
+			return nil, rtt, fmt.Errorf("dnsclient: recv: %w", err)
+		}
+		if !responseMatches(payload, query, qerr == nil, buf[:n]) {
+			continue
+		}
+		return buf[:n], rtt, nil
 	}
-	return buf[:n], rtt, nil
+}
+
+// responseMatches reports whether resp is a response to the query sent
+// as payload: matching ID, QR bit set, and (when the query parses) the
+// same single question. Anything else is a stray datagram to discard.
+func responseMatches(payload []byte, query *dnswire.Message, parsed bool, resp []byte) bool {
+	if len(resp) < 12 || len(payload) < 12 {
+		return false
+	}
+	if resp[0] != payload[0] || resp[1] != payload[1] || resp[2]&0x80 == 0 {
+		return false
+	}
+	if !parsed || len(query.Questions) != 1 {
+		return true // ID-only match is the best an opaque payload allows
+	}
+	msg, err := dnswire.Parse(resp)
+	if err != nil {
+		return false
+	}
+	if len(msg.Questions) != 1 {
+		return false
+	}
+	q, r := query.Questions[0], msg.Questions[0]
+	return r.Name.Equal(q.Name) && r.Type == q.Type && r.Class == q.Class
 }

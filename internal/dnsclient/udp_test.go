@@ -1,0 +1,129 @@
+package dnsclient
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dnswire"
+)
+
+// outOfOrderResponder is a raw UDP server that answers each query with a
+// burst of decoys before the real response: a stale response (wrong ID),
+// a response for a different question (right ID), and an echo of the
+// query itself (QR clear). A transport that trusts the first datagram
+// read returns garbage; the fixed transport must discard all three.
+func outOfOrderResponder(t *testing.T) *net.UDPAddr {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		buf := make([]byte, 4096)
+		var enc dnswire.Encoder
+		for {
+			n, raddr, err := conn.ReadFromUDPAddrPort(buf)
+			if err != nil {
+				return
+			}
+			q, err := dnswire.Parse(buf[:n])
+			if err != nil || len(q.Questions) != 1 {
+				continue
+			}
+			reply := func(m *dnswire.Message) {
+				out, err := enc.Encode(m)
+				if err == nil {
+					_, _ = conn.WriteToUDPAddrPort(out, raddr)
+				}
+			}
+			// Decoy 1: a late response to some earlier query (wrong ID).
+			stale := q.Reply()
+			stale.Header.ID = q.Header.ID + 1
+			reply(stale)
+			// Decoy 2: right ID, wrong question.
+			wrongQ := q.Reply()
+			wrongQ.Questions = []dnswire.Question{{
+				Name: "decoy.example", Type: q.Questions[0].Type, Class: q.Questions[0].Class,
+			}}
+			reply(wrongQ)
+			// Decoy 3: the query echoed back (QR clear).
+			reply(q)
+			// Finally the real answer.
+			real := q.Reply()
+			real.Answers = []dnswire.Record{{
+				Name: q.Questions[0].Name, Class: dnswire.ClassIN, TTL: 60,
+				Data: dnswire.A{Addr: netip.MustParseAddr("192.0.2.7")},
+			}}
+			reply(real)
+		}
+	}()
+	return conn.LocalAddr().(*net.UDPAddr)
+}
+
+// TestUDPExchangeSkipsMismatchedResponses is the regression test for the
+// first-datagram-wins bug: Exchange must keep reading past stale,
+// mismatched and echoed datagrams until the matching response arrives.
+func TestUDPExchangeSkipsMismatchedResponses(t *testing.T) {
+	addr := outOfOrderResponder(t)
+	tr := &UDPTransport{Port: uint16(addr.Port), Timeout: 2 * time.Second}
+	c := New(tr, nil)
+	res, err := c.QueryA(addr.AddrPort().Addr(), "victim.example")
+	if err != nil {
+		t.Fatalf("query through out-of-order responder: %v", err)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("took %d attempts; the transport must absorb decoys within one exchange", res.Attempts)
+	}
+	ips := res.IPs()
+	if len(ips) != 1 || ips[0].String() != "192.0.2.7" {
+		t.Fatalf("IPs = %v, want the real answer 192.0.2.7", ips)
+	}
+}
+
+// TestUDPExchangeTimesOutOnOnlyMismatches checks that a stream of
+// non-matching datagrams does not satisfy the exchange: it must run into
+// the deadline and report the receive error.
+func TestUDPExchangeTimesOutOnOnlyMismatches(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		buf := make([]byte, 4096)
+		var enc dnswire.Encoder
+		for {
+			n, raddr, err := conn.ReadFromUDPAddrPort(buf)
+			if err != nil {
+				return
+			}
+			q, err := dnswire.Parse(buf[:n])
+			if err != nil {
+				continue
+			}
+			stale := q.Reply()
+			stale.Header.ID = q.Header.ID ^ 0xFFFF
+			if out, err := enc.Encode(stale); err == nil {
+				_, _ = conn.WriteToUDPAddrPort(out, raddr)
+			}
+		}
+	}()
+	addr := conn.LocalAddr().(*net.UDPAddr)
+
+	tr := &UDPTransport{Port: uint16(addr.Port), Timeout: 300 * time.Millisecond}
+	q := dnswire.NewQuery(42, "never.example", dnswire.TypeA)
+	payload, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, _, err := tr.Exchange(addr.AddrPort().Addr(), payload); err == nil {
+		t.Fatal("Exchange accepted a mismatched response")
+	}
+	if d := time.Since(start); d < 250*time.Millisecond {
+		t.Fatalf("Exchange gave up after %v without waiting for the deadline", d)
+	}
+}

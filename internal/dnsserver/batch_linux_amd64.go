@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package dnsserver
+
+// recvmmsg/sendmmsg syscall numbers for linux/amd64. sendmmsg (Linux
+// 3.0) postdates the syscall package's freeze, so both are spelled out
+// here rather than referenced from syscall or golang.org/x/sys.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

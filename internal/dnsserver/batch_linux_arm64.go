@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package dnsserver
+
+// recvmmsg/sendmmsg syscall numbers for linux/arm64 (the unified
+// asm-generic table). See batch_linux_amd64.go for why they are local.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

@@ -1,0 +1,33 @@
+//go:build !(linux && (amd64 || arm64))
+
+package dnsserver
+
+// Portable fallback for platforms without the recvmmsg/sendmmsg batch
+// path (non-Linux, or Linux GOARCHes where the frozen syscall package
+// lacks the syscall numbers). Serve consults batchIOAvailable and runs
+// the single-packet read loop and writer; these stubs exist only so the
+// platform-independent pipeline code compiles.
+
+import (
+	"net"
+	"sync"
+)
+
+// batchIOAvailable gates the recvmmsg/sendmmsg loops in Serve.
+const batchIOAvailable = false
+
+// defaultBatch is 1 where batch I/O is unavailable: every packet takes
+// the single-syscall path.
+const defaultBatch = 1
+
+// serveBatch is unreachable (batchIOAvailable is false); it degrades to
+// the portable loop defensively rather than panicking.
+func (s *Server) serveBatch(conn *net.UDPConn, bufs *sync.Pool, jobs, writeq chan<- packet, batch int) error {
+	return s.serveSingle(conn, bufs, jobs, writeq)
+}
+
+// writeBatchLoop is unreachable; reporting false selects the portable
+// writer.
+func (s *Server) writeBatchLoop(conn *net.UDPConn, writeq <-chan packet, batch int) bool {
+	return false
+}

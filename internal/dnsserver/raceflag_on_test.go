@@ -1,0 +1,9 @@
+//go:build race
+
+package dnsserver
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates inside the RawConn syscall path, so the
+// zero-alloc gates skip themselves under -race (scripts/check.sh runs
+// them without it).
+const raceEnabled = true

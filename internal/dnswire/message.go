@@ -156,6 +156,7 @@ func (m *Message) appendPacked(buf []byte, cm compressionMap) ([]byte, error) {
 	for _, sec := range [][]Record{m.Answers, m.Authorities, m.Additionals} {
 		for _, rr := range sec {
 			if buf, err = appendRecord(buf, rr, cm); err != nil {
+				//lint:ignore errwrap appendRecord errors already name the failing record
 				return nil, err
 			}
 		}
@@ -238,6 +239,7 @@ func Parse(msg []byte) (*Message, error) {
 		for i := 0; i < sec.n; i++ {
 			var rr Record
 			if rr, off, err = parseRecord(msg, off); err != nil {
+				//lint:ignore errwrap parse errors are already positional; Parse adds nothing
 				return nil, err
 			}
 			*sec.dest = append(*sec.dest, rr)

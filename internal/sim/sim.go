@@ -77,7 +77,7 @@ func New(cfg Config) (*World, error) {
 	// authoritative server used for resolver discovery.
 	chicago, err := geo.CityByName("chicago")
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sim: university vantage: %w", err)
 	}
 	w.UniversityLoc = chicago.Loc
 	w.UniversityAddr = netip.MustParseAddr("129.105.100.10")

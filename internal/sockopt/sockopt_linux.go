@@ -1,0 +1,31 @@
+//go:build linux
+
+package sockopt
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// ReusePortAvailable reports whether this platform supports
+// SO_REUSEPORT listener sharding.
+const ReusePortAvailable = true
+
+// soReusePort is SO_REUSEPORT, identical across Linux architectures.
+// The frozen syscall package predates the constant (Linux 3.9), so it
+// is spelled out here rather than pulled from an external module.
+const soReusePort = 0xf
+
+// reusePortControl sets SO_REUSEPORT on the about-to-be-bound socket.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	}); err != nil {
+		return fmt.Errorf("sockopt: control %s: %w", address, err)
+	}
+	if serr != nil {
+		return fmt.Errorf("sockopt: SO_REUSEPORT %s: %w", address, serr)
+	}
+	return nil
+}

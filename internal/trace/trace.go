@@ -530,9 +530,11 @@ func (c *Campaign) CollectDurable() (*dataset.Dataset, RunStatus, error) {
 	st.DiscardedBytes = discarded
 	cerr := ck.Close()
 	if runErr != nil {
+		//lint:ignore errwrap run errors keep ErrInterrupted and friends matchable as-is
 		return nil, st, runErr
 	}
 	if cerr != nil {
+		//lint:ignore errwrap Checkpoint.Close errors already name the checkpoint
 		return nil, st, cerr
 	}
 	if st.Interrupted {

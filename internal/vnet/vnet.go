@@ -398,6 +398,7 @@ func (f *Fabric) RoundTrip(src, dst netip.Addr, port uint16, payload []byte) ([]
 		if !ok {
 			return nil, f.ProbeTimeout, ErrTimeout
 		}
+		//lint:ignore errwrap the handler's own failure is the result here, not a fabric error to wrap
 		return nil, fwd + svc + back, err
 	}
 	back, ok := f.routeLatency(route)

@@ -114,3 +114,60 @@ END {
 
 echo "bench.sh: wrote $aout"
 cat "$aout"
+
+# --- batched serving-path benchmark: BENCH_serve.json -----------------
+#
+# Hammers a local adnsd with `curtain loadgen` in three configurations:
+# the portable single-packet loop (-batch 1), the Linux recvmmsg/sendmmsg
+# batch loop (default), and the batch loop behind SO_REUSEPORT sharding.
+# The loadgen query mix is seeded, so runs are comparable. On a
+# single-core host the shard config documents overhead, not gain; the
+# batch-vs-single comparison is the one that must not regress (fewer
+# syscalls per packet wins even on one core).
+
+sout="BENCH_serve.json"
+adnsd="$(mktemp)"
+sraw="$(mktemp)"
+trap 'rm -f "$raw" "$araw" "$dsfile" "$curtain" "$adnsd" "$sraw"' EXIT
+go build -o "$adnsd" ./cmd/adnsd
+
+serve_qps="${SERVE_QPS:-40000}"
+serve_run() { # serve_run <label> <port> <adnsd flags...>
+	label="$1"; port="$2"; shift 2
+	"$adnsd" -listen "127.0.0.1:$port" -quiet -zone loadgen.example "$@" &
+	spid=$!
+	sleep 0.5
+	line="$("$curtain" loadgen -target "127.0.0.1:$port" -qps "$serve_qps" \
+		-duration 2s -conns 4 -timeout 1s -seed 2014 -json)"
+	kill "$spid" 2>/dev/null || true
+	wait "$spid" 2>/dev/null || true
+	printf '%s\t%s\n' "$label" "$line" >> "$sraw"
+	echo "  $label: $line"
+}
+
+echo "==> curtain loadgen vs adnsd ($serve_qps qps target, cores: $cores)"
+: > "$sraw"
+serve_run "single-packet (batch=1, 1 shard)" 19531 -batch 1 -shards 1
+serve_run "batch (recvmmsg/sendmmsg, 1 shard)" 19532 -shards 1
+serve_run "batch + 2 SO_REUSEPORT shards" 19534 -shards 2
+
+{
+	printf '{\n'
+	printf '  "benchmark": "loadgen-vs-adnsd",\n'
+	printf '  "target_qps": %s,\n' "$serve_qps"
+	printf '  "host_cores": %s,\n' "$cores"
+	printf '  "note": "batch must complete >= the single-packet config; shard speedup is bounded by host_cores",\n'
+	printf '  "runs": [\n'
+	n="$(wc -l < "$sraw")"
+	i=0
+	while IFS="$(printf '\t')" read -r label line; do
+		i=$((i + 1))
+		comma=","
+		[ "$i" -eq "$n" ] && comma=""
+		printf '    {"config": "%s", "result": %s}%s\n' "$label" "$line" "$comma"
+	done < "$sraw"
+	printf '  ]\n}\n'
+} > "$sout"
+
+echo "bench.sh: wrote $sout"
+cat "$sout"

@@ -27,6 +27,9 @@ go run ./cmd/curtainlint -baseline scripts/lint-baseline.json ./...
 echo "==> hot-path zero-alloc proof (testing.AllocsPerRun)"
 go test -count=1 -run '^TestHotPathAllocs' ./internal/dnswire/
 
+echo "==> serving hot-path zero-alloc proof (dispatch, servfail, batch read loop)"
+go test -count=1 -run '^TestHotPathAllocs' ./internal/dnsserver/
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -65,5 +68,24 @@ done
 
 echo "==> analyze benchmark smoke (1 iteration of BenchmarkAnalyze/parallel=1)"
 go test -run '^$' -bench '^BenchmarkAnalyze/parallel=1$' -benchtime 1x -timeout 900s .
+
+echo "==> loadgen smoke (adnsd answers; nonzero completed QPS, zero parse errors)"
+lgsrv="$(mktemp)"
+trap 'rm -f "$ckbin" "$ckds" "$cka" "$ckb" "$lgsrv"' EXIT
+go build -o "$lgsrv" ./cmd/adnsd
+"$lgsrv" -listen 127.0.0.1:19533 -quiet -zone loadgen.example &
+lgpid=$!
+sleep 0.5
+lgout="$("$ckbin" loadgen -target 127.0.0.1:19533 -qps 2000 -duration 1s -conns 2 -timeout 500ms -json)"
+kill "$lgpid" 2>/dev/null || true
+wait "$lgpid" 2>/dev/null || true
+echo "$lgout"
+case "$lgout" in
+*'"received":0,'*) echo "check.sh: loadgen completed zero queries" >&2; exit 1 ;;
+esac
+case "$lgout" in
+*'"parse_errors":0,'*) ;;
+*) echo "check.sh: loadgen saw malformed responses" >&2; exit 1 ;;
+esac
 
 echo "check.sh: all gates passed"
