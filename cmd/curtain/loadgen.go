@@ -52,8 +52,8 @@ func runLoadgen(args []string) error {
 		return nil
 	}
 	fmt.Printf("loadgen: %s for %s at %d qps over %d conns\n", *target, *duration, *qps, *conns)
-	fmt.Printf("  sent %d, received %d (%.0f qps completed), timeouts %d, servfails %d, parse errors %d\n",
-		res.Sent, res.Received, res.CompletedQPS, res.Timeouts, res.ServFails, res.ParseErrors)
+	fmt.Printf("  sent %d, received %d (%.0f qps completed), timeouts %d, servfails %d, parse errors %d, answered rate %.3f\n",
+		res.Sent, res.Received, res.CompletedQPS, res.Timeouts, res.ServFails, res.ParseErrors, res.AnsweredRate)
 	fmt.Printf("  latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
 		res.P50Ms, res.P90Ms, res.P99Ms, res.MaxMs)
 	return nil
@@ -83,6 +83,10 @@ type loadgenResult struct {
 	ServFails    uint64  `json:"servfails"`
 	ParseErrors  uint64  `json:"parse_errors"`
 	CompletedQPS float64 `json:"completed_qps"`
+	// AnsweredRate is the fraction of sent queries that came back with a
+	// non-SERVFAIL answer — the chaos gate's resilience metric: under an
+	// upstream outage a serve-stale forwarder keeps this near 1.0.
+	AnsweredRate float64 `json:"answered_rate"`
 	P50Ms        float64 `json:"p50_ms"`
 	P90Ms        float64 `json:"p90_ms"`
 	P99Ms        float64 `json:"p99_ms"`
@@ -191,6 +195,9 @@ func loadgenRun(cfg loadgenConfig) (*loadgenResult, error) {
 	}
 	res.Timeouts = res.Sent - res.Received
 	res.CompletedQPS = float64(res.Received) / cfg.duration.Seconds()
+	if res.Sent > 0 {
+		res.AnsweredRate = float64(res.Received-res.ServFails) / float64(res.Sent)
+	}
 	if lat.Len() > 0 {
 		res.P50Ms = lat.Percentile(50)
 		res.P90Ms = lat.Percentile(90)

@@ -1,0 +1,65 @@
+// Command flakydns runs a scripted misbehaving upstream resolver for
+// chaos testing the resilient forwarding path (DESIGN.md §13). It
+// serves A/AAAA/TXT answers through the standard batched dnsserver
+// pipeline, switching behaviour as its phase script advances:
+//
+//	flakydns -listen 127.0.0.1:5355 -script ok:5s,down:600s -ttl 1
+//
+// is healthy for five seconds and then silently drops everything,
+// which is how scripts/check.sh stages an upstream outage under fwdns.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cellcurtain/internal/dnsserver"
+	"cellcurtain/internal/flakydns"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5355", "UDP listen address")
+	script := flag.String("script", "ok:600s", "comma-separated phases: mode:duration with modes ok, down, servfail, slow")
+	ttl := flag.Uint("ttl", 60, "answer TTL in seconds")
+	delay := flag.Duration("delay", 500*time.Millisecond, "per-query stall in slow phases")
+	quiet := flag.Bool("quiet", false, "suppress per-query logging")
+	flag.Parse()
+
+	phases, err := flakydns.ParseScript(*script)
+	if err != nil {
+		log.Fatalf("flakydns: %v", err)
+	}
+	h, err := flakydns.New(phases)
+	if err != nil {
+		log.Fatalf("flakydns: %v", err)
+	}
+	h.TTL = uint32(*ttl)
+	h.Delay = *delay
+
+	srv := &dnsserver.Server{Handler: h}
+	if !*quiet {
+		srv.Logf = log.Printf
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*listen) }()
+	log.Printf("flakydns: serving on %s, script %q, ttl %ds", *listen, *script, *ttl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("flakydns: %s — draining", s)
+		if !srv.Drain(5 * time.Second) {
+			log.Printf("flakydns: drain deadline exceeded")
+		}
+		c := h.Counters()
+		log.Printf("flakydns: served %d: ok %d, dropped %d, servfail %d, slowed %d",
+			srv.Served(), c.OK, c.Dropped, c.ServFail, c.Slowed)
+	case err := <-errCh:
+		log.Fatalf("flakydns: %v", err)
+	}
+}

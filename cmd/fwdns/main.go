@@ -1,10 +1,12 @@
 // Command fwdns is a caching DNS forwarder over real sockets: it answers
-// on a local address, forwards misses to an upstream resolver (with TCP
-// fallback on truncation) and serves repeats from a TTL cache. Running
-// dnsprobe against it makes the paper's Fig 7 cache effect directly
-// observable on a live network:
+// on a local address, forwards misses through a health-aware upstream
+// pool (circuit breaking, hedged queries, failover; DESIGN.md §13) and
+// serves repeats from a bounded TTL cache, with RFC 8767 serve-stale
+// keeping answers flowing through upstream outages. Running dnsprobe
+// against it makes the paper's Fig 7 cache effect directly observable
+// on a live network:
 //
-//	fwdns -listen 127.0.0.1:5454 -upstream 8.8.8.8 &
+//	fwdns -listen 127.0.0.1:5454 -upstream 8.8.8.8,1.1.1.1 &
 //	dnsprobe -resolvers 127.0.0.1 -port 5454 -rounds 3
 //
 // The second back-to-back lookup of each domain returns from cache.
@@ -12,23 +14,75 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/netip"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"cellcurtain/internal/dnsclient"
 	"cellcurtain/internal/dnsserver"
+	"cellcurtain/internal/dnswire"
 	"cellcurtain/internal/forwarder"
+	"cellcurtain/internal/upstream"
 )
+
+// parseUpstreams turns a comma-separated host[:port] list into
+// addr:port pairs, defaulting the port.
+func parseUpstreams(list string, defaultPort uint16) ([]netip.AddrPort, error) {
+	var out []netip.AddrPort
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if ap, err := netip.ParseAddrPort(part); err == nil {
+			out = append(out, ap)
+			continue
+		}
+		addr, err := netip.ParseAddr(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad upstream %q: %w", part, err)
+		}
+		out = append(out, netip.AddrPortFrom(addr, defaultPort))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no upstreams in %q", list)
+	}
+	return out, nil
+}
+
+// clientsByPort builds one dnsclient per distinct upstream port (the
+// transports carry a fixed port). Retries stays at 1: retrying across
+// upstreams is the pool's job, and double-retrying would hide failures
+// from the breaker.
+func clientsByPort(ups []netip.AddrPort) map[uint16]*dnsclient.Client {
+	clients := map[uint16]*dnsclient.Client{}
+	for _, ap := range ups {
+		if _, ok := clients[ap.Port()]; ok {
+			continue
+		}
+		c := dnsclient.New(&dnsclient.UDPTransport{Timeout: 2 * time.Second, Port: ap.Port()}, nil)
+		c.SetTCPFallback(&dnsclient.TCPTransport{Timeout: 5 * time.Second, Port: ap.Port()})
+		c.Retries = 1
+		clients[ap.Port()] = c
+	}
+	return clients
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5454", "UDP listen address")
-	upstream := flag.String("upstream", "8.8.8.8", "upstream resolver address")
-	upstreamPort := flag.Uint("upstream-port", 53, "upstream resolver port")
+	upstreams := flag.String("upstream", "8.8.8.8", "comma-separated upstream resolvers, host[:port]")
+	upstreamPort := flag.Uint("upstream-port", 53, "default port for -upstream entries without one")
 	maxTTL := flag.Duration("max-ttl", time.Hour, "cache lifetime cap")
+	serveStale := flag.Duration("serve-stale", time.Hour, "serve expired entries up to this long past expiry when upstreams fail (RFC 8767; 0 = off)")
+	maxCache := flag.Int("max-cache", 65536, "max cached entries before LRU eviction (0 = unbounded)")
+	hedge := flag.String("hedge", "adaptive", "hedged-query delay: adaptive (tracked p95), off, or a fixed duration like 20ms")
+	probe := flag.Duration("probe", 0, "active upstream health-probe interval (0 = off)")
+	breakAfter := flag.Int("break-after", 3, "consecutive failures that open an upstream's circuit breaker")
 	statsEvery := flag.Duration("stats", time.Minute, "hit/miss log interval (0 = off)")
 	shards := flag.Int("shards", 1, "SO_REUSEPORT listener shards on the UDP port (Linux; >1 needs kernel support)")
 	workers := flag.Int("workers", 0, "handler goroutines per shard (0 = 2×GOMAXPROCS)")
@@ -36,18 +90,61 @@ func main() {
 	batch := flag.Int("batch", 0, "packets per recvmmsg/sendmmsg syscall (0 = 32 on Linux; 1 = portable loop)")
 	flag.Parse()
 
-	up, err := netip.ParseAddr(*upstream)
+	ups, err := parseUpstreams(*upstreams, uint16(*upstreamPort))
 	if err != nil {
-		log.Fatalf("fwdns: bad upstream %q: %v", *upstream, err)
+		log.Fatalf("fwdns: %v", err)
 	}
-	client := dnsclient.New(&dnsclient.UDPTransport{Timeout: 2 * time.Second, Port: uint16(*upstreamPort)}, nil)
-	client.SetTCPFallback(&dnsclient.TCPTransport{Timeout: 5 * time.Second, Port: uint16(*upstreamPort)})
-	fwd := forwarder.New(up, client)
+	cfg := upstream.Config{FailureThreshold: *breakAfter}
+	switch *hedge {
+	case "adaptive":
+		// HedgeDelay 0 selects the pool's adaptive p95 delay.
+	case "off":
+		cfg.DisableHedge = true
+	default:
+		d, err := time.ParseDuration(*hedge)
+		if err != nil {
+			log.Fatalf("fwdns: bad -hedge %q (want adaptive, off, or a duration): %v", *hedge, err)
+		}
+		cfg.HedgeDelay = d
+	}
+
+	clients := clientsByPort(ups)
+	qf := func(addr netip.AddrPort, name dnswire.Name, t dnswire.Type) (*dnsclient.Result, error) {
+		return clients[addr.Port()].Query(addr.Addr(), name, t)
+	}
+	pool, err := upstream.New(qf, ups, cfg)
+	if err != nil {
+		log.Fatalf("fwdns: %v", err)
+	}
+
+	stopProbes := func() {}
+	if *probe > 0 {
+		// The probe is a plain A query through its own short-deadline
+		// client; SERVFAIL/REFUSED verdicts count as unhealthy just like
+		// on the serving path.
+		probeClients := clientsByPort(ups)
+		prober := func(addr netip.AddrPort) error {
+			res, err := probeClients[addr.Port()].Query(addr.Addr(), "probe.fwdns.invalid", dnswire.TypeA)
+			if err != nil {
+				return err
+			}
+			if res == nil || res.Msg == nil || dnsclient.ShouldFailOver(res.Msg.Header.RCode) {
+				return fmt.Errorf("probe %s: upstream declared failure", addr)
+			}
+			return nil
+		}
+		stopProbes = pool.StartProbes(*probe, prober)
+	}
+
+	fwd := forwarder.NewPooled(pool)
 	fwd.MaxTTL = *maxTTL
+	fwd.MaxStale = *serveStale
+	fwd.MaxEntries = *maxCache
 
 	// The stats logger gets an explicit stop/join pair: time.Tick would
 	// leak its ticker, and an unjoined goroutine could interleave a stats
-	// line with the final drain report below.
+	// line with the final drain report below. Purge here doubles as the
+	// periodic sweep of entries past the staleness window.
 	statsStop := make(chan struct{})
 	statsDone := make(chan struct{})
 	if *statsEvery > 0 {
@@ -58,9 +155,9 @@ func main() {
 			for {
 				select {
 				case <-ticker.C:
-					hits, misses := fwd.Stats()
+					c := fwd.Counters()
 					live := fwd.Purge()
-					log.Printf("fwdns: %d hits, %d misses, %d live entries", hits, misses, live)
+					log.Printf("fwdns: %d hits, %d misses, %d stale serves, %d live entries", c.Hits, c.Misses, c.Stale, live)
 				case <-statsStop:
 					return
 				}
@@ -84,20 +181,33 @@ func main() {
 			errCh <- err
 		}
 	}()
-	log.Printf("fwdns: forwarding %s -> %s (%d shard(s))", *listen, up, *shards)
+	log.Printf("fwdns: forwarding %s -> %v (%d shard(s), hedge=%s, serve-stale=%s)",
+		*listen, ups, *shards, *hedge, *serveStale)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		// Drain: stop accepting, let in-flight forwards answer, log the
-		// final cache stats so short sessions still report hit rates.
+		// Drain in dependency order: stop accepting and answer in-flight
+		// queries, stop the prober, join background cache refreshes, then
+		// join any hedge stragglers in the pool before reporting.
 		log.Printf("fwdns: %s — draining", s)
 		ok := group.Drain(5 * time.Second)
+		stopProbes()
+		fwd.Wait()
+		pool.Close()
 		close(statsStop)
 		<-statsDone
-		hits, misses := fwd.Stats()
-		log.Printf("fwdns: final: %d hits, %d misses", hits, misses)
+		c := fwd.Counters()
+		log.Printf("fwdns: final: %d hits, %d misses, %d stale serves, %d coalesced, %d refreshes (%d failed), %d evictions",
+			c.Hits, c.Misses, c.Stale, c.Coalesced, c.Refreshes, c.RefreshFails, c.Evictions)
+		pc := pool.Counters()
+		log.Printf("fwdns: pool: %d queries, %d hedges (%d won), %d retries, breaker opens: %d, closes: %d, half-opens: %d, %d failures, %d budget-denied, %d probes (%d failed)",
+			pc.Queries, pc.Hedges, pc.HedgeWins, pc.Retries, pc.BreakerOpens, pc.BreakerCloses, pc.HalfOpens, pc.Failures, pc.BudgetDenied, pc.Probes, pc.ProbeFails)
+		for _, st := range pool.States() {
+			log.Printf("fwdns: upstream %s: %s, %d ok, %d failed, ewma %s", st.Addr, st.State, st.Successes, st.Failures, st.EWMA)
+		}
+		log.Printf("fwdns: served %d queries", group.Served())
 		if sf, drops := group.OverloadStats(); sf > 0 || drops > 0 {
 			log.Printf("fwdns: overload: %d queries SERVFAILed, %d packets dropped", sf, drops)
 		}

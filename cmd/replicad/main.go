@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -42,7 +43,17 @@ func main() {
 		fmt.Fprintf(w, "served-by: %s\npath: %s\nhost: %s\ntime: %s\n",
 			*name, r.URL.Path, r.Host, time.Now().UTC().Format(time.RFC3339Nano))
 	})
+	// /healthz reports real serving state: 200 while up, 503 once a drain
+	// begins — the shape upstream.HTTPHealthProbe expects, so a pool
+	// doing active health checks routes away from a draining replica
+	// before its listener actually closes.
+	var draining atomic.Bool
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 
@@ -75,6 +86,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
+		draining.Store(true) // flip /healthz to 503 before closing listeners
 		log.Printf("replicad: %s — draining", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

@@ -140,9 +140,12 @@ func (c *Client) backoffDelay(made int) time.Duration {
 	return d
 }
 
-// failsOver reports whether the response warrants trying the next server:
-// the server answered but declared itself unable or unwilling to serve.
-func failsOver(rc dnswire.RCode) bool {
+// ShouldFailOver reports whether a response's RCode warrants trying
+// another server: the server answered but declared itself unable or
+// unwilling to serve. NXDOMAIN and data answers are authoritative data,
+// not server failure, and must never fail over. QueryFailover and the
+// upstream pool share this classification.
+func ShouldFailOver(rc dnswire.RCode) bool {
 	return rc == dnswire.RCodeServFail || rc == dnswire.RCodeRefused
 }
 
@@ -242,7 +245,7 @@ func (c *Client) QueryFailover(name dnswire.Name, t dnswire.Type, servers ...net
 				Msg: msg, RTT: rtt, Server: server,
 				Truncated: msg.Header.Truncated, FailedOver: si > 0,
 			}
-			if failsOver(msg.Header.RCode) {
+			if ShouldFailOver(msg.Header.RCode) {
 				// The server is up but cannot serve; hold its answer and
 				// move on. The last such answer is what the caller sees if
 				// no server does better.

@@ -40,6 +40,14 @@ func (f HandlerFunc) ServeDNS(remote netip.AddrPort, q *dnswire.Message) *dnswir
 	return f(remote, q)
 }
 
+// Drop is a sentinel a Handler returns to discard the query without any
+// reply at all — the client sees silence and times out, exactly like a
+// packet lost on the network. A plain nil return answers REFUSED
+// instead (a server that is up but unwilling), so outage fixtures such
+// as flakydns need Drop to simulate a dead upstream rather than a
+// misconfigured one.
+var Drop = &dnswire.Message{}
+
 // packet is one datagram moving through the serving pipeline. buf is a
 // pooled buffer owning the payload (request on the way in, response on
 // the way out); n is the payload length.
@@ -85,7 +93,13 @@ type Server struct {
 	// with an unparseable or non-query packet, or a full write queue).
 	overloads atomic.Uint64
 	drops     atomic.Uint64
+	// served counts queries that went through the Handler, whatever the
+	// outcome (answered, or deliberately dropped via Drop).
+	served atomic.Uint64
 }
+
+// Served reports how many queries reached the Handler.
+func (s *Server) Served() uint64 { return s.served.Load() }
 
 // OverloadStats reports how many queries were answered SERVFAIL because
 // the worker pool was saturated, and how many packets were dropped
@@ -319,6 +333,10 @@ func (s *Server) answer(enc *dnswire.Encoder, p packet) (int, bool) {
 		return 0, false // ignore stray responses
 	}
 	resp := s.Handler.ServeDNS(p.raddr, query)
+	s.served.Add(1)
+	if resp == Drop {
+		return 0, false // handler asked for silence
+	}
 	if resp == nil {
 		resp = query.Reply()
 		resp.Header.RCode = dnswire.RCodeRefused

@@ -114,6 +114,15 @@ func (g *ShardGroup) Drain(timeout time.Duration) bool {
 	return ok
 }
 
+// Served sums the per-shard handled-query counts.
+func (g *ShardGroup) Served() uint64 {
+	var n uint64
+	for _, srv := range g.servers {
+		n += srv.Served()
+	}
+	return n
+}
+
 // OverloadStats sums SERVFAIL-on-overload and drop counts across shards.
 func (g *ShardGroup) OverloadStats() (servfails, drops uint64) {
 	for _, srv := range g.servers {

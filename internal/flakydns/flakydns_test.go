@@ -1,0 +1,174 @@
+package flakydns
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dnsserver"
+	"cellcurtain/internal/dnswire"
+)
+
+func TestParseScript(t *testing.T) {
+	phases, err := ParseScript("ok:5s, down:600s,servfail:1m,slow:30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Phase{
+		{ModeOK, 5 * time.Second},
+		{ModeDown, 600 * time.Second},
+		{ModeServFail, time.Minute},
+		{ModeSlow, 30 * time.Second},
+	}
+	if len(phases) != len(want) {
+		t.Fatalf("phases = %v", phases)
+	}
+	for i, p := range phases {
+		if p != want[i] {
+			t.Fatalf("phase %d = %v, want %v", i, p, want[i])
+		}
+	}
+	for _, bad := range []string{"", "ok", "ok:0s", "ok:-5s", "maybe:5s", "ok:5s,,down:1s"} {
+		if _, err := ParseScript(bad); err == nil {
+			t.Fatalf("ParseScript(%q) accepted", bad)
+		}
+	}
+}
+
+func query(name dnswire.Name, t dnswire.Type) *dnswire.Message {
+	return dnswire.NewQuery(7, name, t)
+}
+
+func testHandler(t *testing.T, script string) (*Handler, *time.Time) {
+	t.Helper()
+	phases, err := ParseScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	h.Now = func() time.Time { return now }
+	return h, &now
+}
+
+func TestPhasesAdvanceAndStick(t *testing.T) {
+	h, now := testHandler(t, "ok:5s,down:10s,servfail:5s")
+	remote := netip.MustParseAddrPort("127.0.0.1:4242")
+
+	resp := h.ServeDNS(remote, query("a.example", dnswire.TypeA))
+	if resp.Header.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("ok phase: %+v", resp)
+	}
+	if resp.Answers[0].TTL != 60 {
+		t.Fatalf("TTL = %d", resp.Answers[0].TTL)
+	}
+
+	*now = now.Add(7 * time.Second) // into down
+	if resp := h.ServeDNS(remote, query("a.example", dnswire.TypeA)); resp != dnsserver.Drop {
+		t.Fatalf("down phase must return Drop, got %+v", resp)
+	}
+
+	*now = now.Add(10 * time.Second) // into servfail
+	if resp := h.ServeDNS(remote, query("a.example", dnswire.TypeA)); resp.Header.RCode != dnswire.RCodeServFail {
+		t.Fatalf("servfail phase: %+v", resp)
+	}
+
+	*now = now.Add(time.Hour) // far past the script: stick on last phase
+	if resp := h.ServeDNS(remote, query("a.example", dnswire.TypeA)); resp.Header.RCode != dnswire.RCodeServFail {
+		t.Fatalf("sticky last phase: %+v", resp)
+	}
+
+	c := h.Counters()
+	if c.OK != 1 || c.Dropped != 1 || c.ServFail != 2 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestSlowPhaseDelays(t *testing.T) {
+	h, _ := testHandler(t, "slow:10s")
+	h.Delay = 123 * time.Millisecond
+	var slept time.Duration
+	h.Sleep = func(d time.Duration) { slept += d }
+	resp := h.ServeDNS(netip.MustParseAddrPort("127.0.0.1:1"), query("s.example", dnswire.TypeA))
+	if resp.Header.RCode != dnswire.RCodeSuccess {
+		t.Fatalf("slow phase must still answer: %+v", resp)
+	}
+	if slept != 123*time.Millisecond {
+		t.Fatalf("slept %v", slept)
+	}
+	if c := h.Counters(); c.Slowed != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestAnswerTypes(t *testing.T) {
+	h, _ := testHandler(t, "ok:10s")
+	h.TTL = 1
+	remote := netip.MustParseAddrPort("127.0.0.1:1")
+
+	a := h.ServeDNS(remote, query("t.example", dnswire.TypeA))
+	if ip := a.Answers[0].Data.(dnswire.A).Addr; ip != h.Addr4 {
+		t.Fatalf("A = %s", ip)
+	}
+	if a.Answers[0].TTL != 1 {
+		t.Fatalf("TTL = %d", a.Answers[0].TTL)
+	}
+	aaaa := h.ServeDNS(remote, query("t.example", dnswire.TypeAAAA))
+	if ip := aaaa.Answers[0].Data.(dnswire.AAAA).Addr; ip != h.Addr6 {
+		t.Fatalf("AAAA = %s", ip)
+	}
+	txt := h.ServeDNS(remote, query("t.example", dnswire.TypeTXT))
+	if s := txt.Answers[0].Data.(dnswire.TXT).Strings[0]; s != "flakydns ok" {
+		t.Fatalf("TXT = %q", s)
+	}
+	ns := h.ServeDNS(remote, query("t.example", dnswire.TypeNS))
+	if ns.Header.RCode != dnswire.RCodeNotImp {
+		t.Fatalf("NS rcode = %v", ns.Header.RCode)
+	}
+}
+
+// TestDropThroughServer checks the Drop sentinel end to end: a down-phase
+// query gets no reply at all from a real server, and Served still counts
+// it.
+func TestDropThroughServer(t *testing.T) {
+	h, _ := testHandler(t, "down:600s")
+	srv := &dnsserver.Server{Handler: h, Batch: 1}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe("127.0.0.1:0") }()
+	for srv.Addr() == (netip.AddrPort{}) {
+		time.Sleep(time.Millisecond)
+	}
+
+	conn, err := net.Dial("udp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(9, "drop.example", dnswire.TypeA)
+	payload, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	if n, err := conn.Read(buf); err == nil {
+		t.Fatalf("expected silence, got %d-byte reply", n)
+	}
+	for srv.Served() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if c := h.Counters(); c.Dropped != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	srv.Shutdown()
+	<-errCh
+}

@@ -4,9 +4,17 @@
 // simulated cellular LDNS frontends, built from the same dnswire,
 // dnsclient and dnsserver pieces, and it powers cmd/fwdns — handy for
 // observing exactly the cache behaviour the paper measures in Fig 7.
+//
+// The resilient serving path (DESIGN.md §13) layers on top of the cache:
+// misses route through a health-aware upstream pool, concurrent misses
+// for one name coalesce into a single upstream query (singleflight),
+// expired entries are served stale with a short TTL while a background
+// refresh runs (RFC 8767) instead of SERVFAILing when upstreams are down,
+// and the cache is bounded with LRU eviction.
 package forwarder
 
 import (
+	"container/list"
 	"net/netip"
 	"strings"
 	"sync"
@@ -14,34 +22,86 @@ import (
 
 	"cellcurtain/internal/dnsclient"
 	"cellcurtain/internal/dnswire"
+	"cellcurtain/internal/upstream"
 )
 
 // entry is one cached answer.
 type entry struct {
+	key     string
 	answers []dnswire.Record
 	rcode   dnswire.RCode
 	expiry  time.Time
 	stored  time.Time
 }
 
+// flight is one in-progress upstream resolution that concurrent misses
+// for the same key wait on (and background refreshes publish through).
+type flight struct {
+	done    chan struct{}
+	answers []dnswire.Record
+	rcode   dnswire.RCode
+	err     error
+}
+
+// purgeEvery is how many stores happen between opportunistic full
+// purges of expired entries (on top of LRU eviction and any periodic
+// Purge the embedding daemon runs).
+const purgeEvery = 512
+
+// Counters are the forwarder's lifetime counts, surfaced at drain.
+type Counters struct {
+	// Hits and Misses count cache outcomes; a stale serve counts as
+	// neither (it is its own outcome).
+	Hits, Misses uint64
+	// Stale counts answers served from expired entries (RFC 8767).
+	Stale uint64
+	// Coalesced counts misses that piggybacked on another query's
+	// in-flight upstream resolution instead of issuing their own.
+	Coalesced uint64
+	// Refreshes and RefreshFails count background refreshes launched
+	// after a stale serve, and those that failed.
+	Refreshes, RefreshFails uint64
+	// Evictions counts LRU evictions under the MaxEntries bound.
+	Evictions uint64
+}
+
 // Forwarder resolves queries through an upstream resolver with caching.
 type Forwarder struct {
-	// Upstream is the resolver misses are forwarded to.
+	// Upstream is the resolver misses are forwarded to when no Pool is
+	// configured.
 	Upstream netip.Addr
 	// Client performs the forwarding (configure transports/retries there).
 	Client *dnsclient.Client
+	// Pool, when set, routes misses through the health-aware upstream
+	// pool (breakers, hedging, failover) instead of Upstream/Client.
+	Pool *upstream.Pool
 	// MaxTTL caps cache lifetimes; 0 means 1 hour.
 	MaxTTL time.Duration
 	// NegativeTTL caches NXDOMAIN/errors briefly; 0 means 30 s.
 	NegativeTTL time.Duration
+	// MaxStale is the serve-stale window (RFC 8767): an expired entry no
+	// older than expiry+MaxStale is served with StaleTTL while a
+	// background refresh runs. 0 disables serve-stale.
+	MaxStale time.Duration
+	// StaleTTL is the TTL put on stale answers (0 means 30 s, the
+	// RFC 8767 §5.2 recommendation).
+	StaleTTL time.Duration
+	// MaxEntries bounds the cache; the least-recently-used entry is
+	// evicted past it. 0 means unbounded.
+	MaxEntries int
 	// Now is the clock (tests override it); nil means time.Now.
 	Now func() time.Time
 
-	mu    sync.Mutex
-	cache map[string]entry
-	// Hits and Misses count cache outcomes (read under the lock or after
-	// serving stops).
-	Hits, Misses uint64
+	mu      sync.Mutex
+	cache   map[string]*list.Element // of *entry, also threaded on lru
+	lru     *list.List               // front = most recently used
+	flights map[string]*flight
+	stores  uint64 // store count driving opportunistic purges
+	c       Counters
+
+	// wg joins background refresh goroutines; Wait blocks on it at
+	// drain so refreshes never race process shutdown.
+	wg sync.WaitGroup
 }
 
 // New builds a forwarder toward upstream using the given client.
@@ -49,8 +109,17 @@ func New(upstream netip.Addr, client *dnsclient.Client) *Forwarder {
 	return &Forwarder{
 		Upstream: upstream,
 		Client:   client,
-		cache:    make(map[string]entry),
+		cache:    make(map[string]*list.Element),
+		lru:      list.New(),
+		flights:  make(map[string]*flight),
 	}
+}
+
+// NewPooled builds a forwarder whose misses resolve through pool.
+func NewPooled(pool *upstream.Pool) *Forwarder {
+	f := New(netip.Addr{}, nil)
+	f.Pool = pool
+	return f
 }
 
 func (f *Forwarder) now() time.Time {
@@ -62,6 +131,22 @@ func (f *Forwarder) now() time.Time {
 
 func cacheKey(q dnswire.Question) string {
 	return strings.ToLower(string(q.Name)) + "/" + q.Type.String()
+}
+
+func (f *Forwarder) staleTTL() uint32 {
+	if f.StaleTTL > 0 {
+		return uint32(f.StaleTTL / time.Second)
+	}
+	return 30
+}
+
+// resolve performs one upstream resolution through the pool when
+// configured, the plain client otherwise.
+func (f *Forwarder) resolve(q dnswire.Question) (*dnsclient.Result, error) {
+	if f.Pool != nil {
+		return f.Pool.Resolve(q.Name, q.Type)
+	}
+	return f.Client.Query(f.Upstream, q.Name, q.Type)
 }
 
 // ServeDNS implements dnsserver.Handler.
@@ -77,25 +162,105 @@ func (f *Forwarder) ServeDNS(_ netip.AddrPort, query *dnswire.Message) *dnswire.
 	now := f.now()
 
 	f.mu.Lock()
-	if e, ok := f.cache[key]; ok && now.Before(e.expiry) {
-		f.Hits++
+	if el, ok := f.cache[key]; ok {
+		e := el.Value.(*entry)
+		if now.Before(e.expiry) {
+			f.c.Hits++
+			f.lru.MoveToFront(el)
+			f.mu.Unlock()
+			resp.Header.RCode = e.rcode
+			resp.Answers = decayTTLs(e.answers, now.Sub(e.stored))
+			return resp
+		}
+		if f.MaxStale > 0 && now.Sub(e.expiry) <= f.MaxStale {
+			// Serve stale (RFC 8767): answer immediately from the expired
+			// entry with a short TTL and refresh in the background. The
+			// flight map keeps concurrent stale hits from stacking
+			// refreshes for the same name.
+			f.c.Stale++
+			f.lru.MoveToFront(el)
+			rcode, answers := e.rcode, e.answers
+			if _, refreshing := f.flights[key]; !refreshing {
+				fl := &flight{done: make(chan struct{})}
+				f.flights[key] = fl
+				f.c.Refreshes++
+				f.wg.Add(1)
+				go func() {
+					defer f.wg.Done()
+					f.fetch(q, key, fl, true)
+				}()
+			}
+			f.mu.Unlock()
+			resp.Header.RCode = rcode
+			resp.Answers = clampTTLs(answers, f.staleTTL())
+			return resp
+		}
+		// Too stale to serve: drop it and fall through to a plain miss.
+		f.removeLocked(el)
+	}
+	f.c.Misses++
+	if fl, ok := f.flights[key]; ok {
+		// Another query is already resolving this name: coalesce.
+		f.c.Coalesced++
 		f.mu.Unlock()
-		resp.Header.RCode = e.rcode
-		resp.Answers = decayTTLs(e.answers, now.Sub(e.stored))
+		<-fl.done
+		if fl.err != nil {
+			resp.Header.RCode = dnswire.RCodeServFail
+			return resp
+		}
+		resp.Header.RCode = fl.rcode
+		resp.Answers = decayTTLs(fl.answers, 0)
 		return resp
 	}
-	f.Misses++
+	fl := &flight{done: make(chan struct{})}
+	f.flights[key] = fl
 	f.mu.Unlock()
 
-	res, err := f.Client.Query(f.Upstream, q.Name, q.Type)
-	if err != nil {
+	f.fetch(q, key, fl, false)
+	if fl.err != nil {
 		resp.Header.RCode = dnswire.RCodeServFail
 		return resp
 	}
-	up := res.Msg
-	resp.Header.RCode = up.Header.RCode
-	resp.Answers = up.Answers
+	resp.Header.RCode = fl.rcode
+	resp.Answers = decayTTLs(fl.answers, 0)
+	return resp
+}
 
+// fetch resolves q upstream, stores the answer in the cache, publishes
+// it through fl and closes the flight. It runs synchronously on the
+// miss path and as a goroutine for background refreshes.
+func (f *Forwarder) fetch(q dnswire.Question, key string, fl *flight, background bool) {
+	res, err := f.resolve(q)
+	now := f.now()
+
+	f.mu.Lock()
+	defer func() {
+		delete(f.flights, key)
+		f.mu.Unlock()
+		close(fl.done)
+	}()
+	if err != nil {
+		fl.err = err
+		if background {
+			f.c.RefreshFails++
+		}
+		return
+	}
+	up := res.Msg
+	fl.rcode = up.Header.RCode
+	// Copy on store: the cached slice must never alias the response a
+	// caller may mutate (and the upstream message it came from).
+	fl.answers = decayTTLs(up.Answers, 0)
+
+	negative := len(up.Answers) == 0 || up.Header.RCode != dnswire.RCodeSuccess
+	if negative && f.protectStaleLocked(key, now) {
+		// RFC 8767: an upstream failure answer must not clobber stale
+		// data that is still serveable — keep the good entry.
+		if background {
+			f.c.RefreshFails++
+		}
+		return
+	}
 	ttl := time.Duration(up.MinAnswerTTL()) * time.Second
 	maxTTL := f.MaxTTL
 	if maxTTL <= 0 {
@@ -104,21 +269,62 @@ func (f *Forwarder) ServeDNS(_ netip.AddrPort, query *dnswire.Message) *dnswire.
 	if ttl > maxTTL {
 		ttl = maxTTL
 	}
-	if len(up.Answers) == 0 || up.Header.RCode != dnswire.RCodeSuccess {
+	if negative {
 		ttl = f.NegativeTTL
 		if ttl <= 0 {
 			ttl = 30 * time.Second
 		}
 	}
 	if ttl > 0 {
-		f.mu.Lock()
-		f.cache[key] = entry{
-			answers: up.Answers, rcode: up.Header.RCode,
+		f.storeLocked(key, &entry{
+			key: key, answers: fl.answers, rcode: up.Header.RCode,
 			expiry: now.Add(ttl), stored: now,
-		}
-		f.mu.Unlock()
+		})
 	}
-	return resp
+}
+
+// protectStaleLocked reports whether key holds a successful answer that
+// is still within the serve-stale window and so must survive a negative
+// refresh result. Caller holds f.mu.
+func (f *Forwarder) protectStaleLocked(key string, now time.Time) bool {
+	el, ok := f.cache[key]
+	if !ok || f.MaxStale <= 0 {
+		return false
+	}
+	e := el.Value.(*entry)
+	return e.rcode == dnswire.RCodeSuccess && len(e.answers) > 0 &&
+		now.Sub(e.expiry) <= f.MaxStale
+}
+
+// storeLocked inserts or replaces an entry, evicting LRU past
+// MaxEntries and opportunistically purging expired entries every
+// purgeEvery stores. Caller holds f.mu.
+func (f *Forwarder) storeLocked(key string, e *entry) {
+	if el, ok := f.cache[key]; ok {
+		el.Value = e
+		f.lru.MoveToFront(el)
+	} else {
+		f.cache[key] = f.lru.PushFront(e)
+	}
+	f.stores++
+	if f.stores%purgeEvery == 0 {
+		f.purgeLocked(f.now())
+	}
+	for f.MaxEntries > 0 && f.lru.Len() > f.MaxEntries {
+		oldest := f.lru.Back()
+		if oldest == nil {
+			break
+		}
+		f.removeLocked(oldest)
+		f.c.Evictions++
+	}
+}
+
+// removeLocked drops one cache element. Caller holds f.mu.
+func (f *Forwarder) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	delete(f.cache, e.key)
+	f.lru.Remove(el)
 }
 
 // decayTTLs returns copies of the records with TTLs reduced by age.
@@ -136,22 +342,64 @@ func decayTTLs(rrs []dnswire.Record, age time.Duration) []dnswire.Record {
 	return out
 }
 
+// clampTTLs returns copies of the records with TTLs capped at ttl — the
+// short lifetime stale answers carry (RFC 8767 §5.2).
+func clampTTLs(rrs []dnswire.Record, ttl uint32) []dnswire.Record {
+	out := make([]dnswire.Record, len(rrs))
+	for i, rr := range rrs {
+		if rr.TTL > ttl {
+			rr.TTL = ttl
+		}
+		out[i] = rr
+	}
+	return out
+}
+
 // Stats returns the hit/miss counters.
 func (f *Forwarder) Stats() (hits, misses uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.Hits, f.Misses
+	return f.c.Hits, f.c.Misses
 }
 
-// Purge drops expired entries and returns how many remain.
+// Counters returns a snapshot of all cache-path counters.
+func (f *Forwarder) Counters() Counters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.c
+}
+
+// Len returns the number of live cache entries.
+func (f *Forwarder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lru.Len()
+}
+
+// Wait blocks until every background refresh goroutine has finished.
+// Call after serving stops (no new queries) to drain cleanly.
+func (f *Forwarder) Wait() {
+	f.wg.Wait()
+}
+
+// Purge drops entries past their useful life — expiry plus the
+// serve-stale window — and returns how many remain.
 func (f *Forwarder) Purge() int {
 	now := f.now()
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for k, e := range f.cache {
-		if !now.Before(e.expiry) {
-			delete(f.cache, k)
+	f.purgeLocked(now)
+	return f.lru.Len()
+}
+
+// purgeLocked implements Purge under f.mu.
+func (f *Forwarder) purgeLocked(now time.Time) {
+	var next *list.Element
+	for el := f.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*entry)
+		if !now.Before(e.expiry.Add(f.MaxStale)) {
+			f.removeLocked(el)
 		}
 	}
-	return len(f.cache)
 }

@@ -1,0 +1,43 @@
+package upstream
+
+// budget is a token bucket keyed to success rate, bounding how much
+// extra traffic (hedges and cross-upstream retries) the pool may add on
+// top of first attempts: each hedge or retry spends one token, each
+// successful answer refunds a fraction. When upstreams are healthy the
+// bucket stays full and hedging is free; when they struggle, successes
+// dry up, the bucket drains, and the pool stops amplifying load — the
+// retry-storm guard (cf. the gRPC/Envoy retry budget). Guarded by the
+// pool mutex.
+type budget struct {
+	tokens float64
+	max    float64
+	refund float64
+}
+
+func newBudget(max, refund float64) budget {
+	if max <= 0 {
+		max = 10
+	}
+	if refund <= 0 {
+		refund = 0.1
+	}
+	return budget{tokens: max, max: max, refund: refund}
+}
+
+// spend consumes one token if available and reports whether the extra
+// attempt is allowed.
+func (b *budget) spend() bool {
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// success refunds a fractional token, capped at the bucket size.
+func (b *budget) success() {
+	b.tokens += b.refund
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+}

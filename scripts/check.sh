@@ -88,4 +88,45 @@ case "$lgout" in
 *) echo "check.sh: loadgen saw malformed responses" >&2; exit 1 ;;
 esac
 
+echo "==> chaos smoke (fwdns vs scripted upstream outage; serve-stale keeps answering)"
+# Two upstreams: a flakydns that is healthy for 3s then silently drops
+# everything, and a dead port nothing listens on. The forwarder is warmed
+# while the flaky upstream is up (TTL 1s, so the entries are stale — not
+# fresh — by the outage), then load runs again mid-outage with the same
+# seed/conns/names (the deterministic mix makes the outage queries a
+# prefix of the warmed ones). Serve-stale must keep the answered rate
+# near 1.0, and the drain report must show the breaker opened and stale
+# serves happened.
+fwbin="$(mktemp)"
+flbin="$(mktemp)"
+fwlog="$(mktemp)"
+trap 'rm -f "$ckbin" "$ckds" "$cka" "$ckb" "$lgsrv" "$fwbin" "$flbin" "$fwlog"' EXIT
+go build -o "$fwbin" ./cmd/fwdns
+go build -o "$flbin" ./cmd/flakydns
+"$flbin" -listen 127.0.0.1:19541 -script ok:3s,down:600s -ttl 1 -quiet 2>/dev/null &
+flpid=$!
+"$fwbin" -listen 127.0.0.1:19540 -upstream 127.0.0.1:19541,127.0.0.1:19542 \
+	-serve-stale 1h -probe 250ms -break-after 2 -hedge adaptive -stats 0 2> "$fwlog" &
+fwpid=$!
+sleep 0.5
+"$ckbin" loadgen -target 127.0.0.1:19540 -qps 600 -duration 1s -conns 2 -names 64 -seed 42 -timeout 500ms -json >/dev/null
+sleep 2.5 # flakydns goes dark; the warm entries' 1s TTLs expire
+chout="$("$ckbin" loadgen -target 127.0.0.1:19540 -qps 200 -duration 2s -conns 2 -names 64 -seed 42 -timeout 500ms -json)"
+sleep 1 # let active probes finish opening the flaky upstream's breaker
+kill -TERM "$fwpid" 2>/dev/null || true
+wait "$fwpid" 2>/dev/null || true
+kill "$flpid" 2>/dev/null || true
+wait "$flpid" 2>/dev/null || true
+echo "$chout"
+rate="$(echo "$chout" | awk -F'"answered_rate":' '{print $2}' | cut -d, -f1 | cut -d'}' -f1)"
+if [ -z "$rate" ] || ! awk "BEGIN{exit !($rate >= 0.95)}"; then
+	echo "check.sh: chaos smoke answered_rate $rate < 0.95 during outage" >&2
+	cat "$fwlog" >&2
+	exit 1
+fi
+grep -E 'breaker opens: [1-9]' "$fwlog" >/dev/null || {
+	echo "check.sh: chaos smoke: breaker never opened" >&2; cat "$fwlog" >&2; exit 1; }
+grep -E 'final: .* [1-9][0-9]* stale serves' "$fwlog" >/dev/null || {
+	echo "check.sh: chaos smoke: no stale serves during the outage" >&2; cat "$fwlog" >&2; exit 1; }
+
 echo "check.sh: all gates passed"
