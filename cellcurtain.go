@@ -76,6 +76,14 @@ type Options struct {
 	Interrupt <-chan struct{}
 }
 
+// CampaignConfig resolves the options into the trace configuration they
+// denote — the same mapping NewStudy applies. The distributed
+// coordinator/worker subcommands use it to compute the campaign
+// fingerprint (trace.Config.Hash) and the wire config pushed to workers.
+func (o Options) CampaignConfig() trace.Config {
+	return o.campaignConfig()
+}
+
 func (o Options) campaignConfig() trace.Config {
 	seed := o.Seed
 	if seed == 0 {

@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"cellcurtain"
+	"cellcurtain/internal/controlplane"
 	"cellcurtain/internal/dataset"
 	"cellcurtain/internal/trace"
 )
@@ -45,6 +46,10 @@ func main() {
 		err = runAnalyze(args)
 	case "loadgen":
 		err = runLoadgen(args)
+	case "coordinate":
+		err = runCoordinate(args)
+	case "worker":
+		err = runWorker(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -54,6 +59,11 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "curtain:", err)
+		if errors.Is(err, controlplane.ErrInterrupted) {
+			// Coordinator stop with a flushed checkpoint: clean exit, the
+			// resume hint was already printed.
+			return
+		}
 		if errors.Is(err, trace.ErrInterrupted) {
 			// A requested stop with a flushed checkpoint exits cleanly.
 			fmt.Fprintln(os.Stderr, "curtain: add -resume to the same command to continue")
@@ -73,6 +83,10 @@ commands:
   simulate   run a campaign and write the raw dataset as JSONL
   analyze    offline analysis of a JSONL dataset (no simulation)
   loadgen    hammer a DNS resolver at a target QPS and report latency
+  coordinate lease a campaign's experiments to worker processes and
+             merge their results (crash-tolerant, byte-identical to
+             a serial run; see DESIGN.md §14)
+  worker     join a coordinated campaign and execute leased ranges
 
 flags (loadgen):
   -target ADDR        resolver under test (default 127.0.0.1:5353)
@@ -95,6 +109,25 @@ flags (analyze):
                       path instead of the streaming engine (same output)
   -progress           report scan progress on stderr
   -stats              report scan time and peak RSS on stderr
+
+flags (coordinate):
+  -listen ADDR        address workers connect to (default 127.0.0.1:9290;
+                      a path means a unix socket)
+  -checkpoint-dir D   durable segment directory (required); worker crashes
+                      and coordinator restarts recover from it
+  -resume             adopt the checkpoint and lease only what is missing
+  -lease N            experiments per leased range (default 64)
+  -lease-timeout D    reassign a lease after this long without a
+                      heartbeat (default 10s)
+  -out PATH           merged dataset JSONL (default dataset.jsonl)
+  plus the campaign flags: -seed -days -interval-hours -scale -faults
+
+flags (worker):
+  -addr ADDR          coordinator to join (default 127.0.0.1:9290)
+  -id NAME            worker name in coordinator logs
+  -heartbeat D        lease heartbeat interval (default 2s)
+  campaign flags given here become a fingerprint claim that the
+  coordinator verifies; omit them to adopt the pushed config
 
 flags (report/exp/simulate):
   -seed N             RNG seed (default 2014)

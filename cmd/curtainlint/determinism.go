@@ -12,7 +12,7 @@ import (
 var determinismDirs = []string{
 	"internal/sim", "internal/vnet", "internal/carrier",
 	"internal/cdn", "internal/analysis", "internal/analysis/engine",
-	"internal/stats", "internal/fault",
+	"internal/stats", "internal/fault", "internal/controlplane",
 }
 
 // forbiddenTimeFuncs are the time package's wall-clock entry points.

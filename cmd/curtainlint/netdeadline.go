@@ -10,6 +10,7 @@ import (
 var netDeadlineDirs = []string{
 	"internal/dnsclient", "internal/dnsserver",
 	"internal/forwarder", "internal/probe",
+	"internal/controlplane",
 }
 
 var connReadOps = map[string]bool{

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5355", "UDP listen address")
-	script := flag.String("script", "ok:600s", "comma-separated phases: mode:duration with modes ok, down, servfail, slow")
+	script := flag.String("script", "ok:600s", "comma-separated phases: mode:duration with modes ok, down, servfail, slow, loss=FRAC")
 	ttl := flag.Uint("ttl", 60, "answer TTL in seconds")
 	delay := flag.Duration("delay", 500*time.Millisecond, "per-query stall in slow phases")
 	quiet := flag.Bool("quiet", false, "suppress per-query logging")
@@ -57,8 +57,8 @@ func main() {
 			log.Printf("flakydns: drain deadline exceeded")
 		}
 		c := h.Counters()
-		log.Printf("flakydns: served %d: ok %d, dropped %d, servfail %d, slowed %d",
-			srv.Served(), c.OK, c.Dropped, c.ServFail, c.Slowed)
+		log.Printf("flakydns: served %d: ok %d, dropped %d, servfail %d, slowed %d, lost %d",
+			srv.Served(), c.OK, c.Dropped, c.ServFail, c.Slowed, c.Lost)
 	case err := <-errCh:
 		log.Fatalf("flakydns: %v", err)
 	}

@@ -55,6 +55,25 @@ func parseUpstreams(list string, defaultPort uint16) ([]netip.AddrPort, error) {
 	return out, nil
 }
 
+// validateFlags rejects flag combinations that would silently disable
+// the resilience machinery instead of letting them limp along. set
+// reports which flags were given explicitly (flag.Visit): the hedge
+// check only fires for an explicit -hedge, so the default single-
+// upstream invocation (where the adaptive default is simply inert)
+// keeps working.
+func validateFlags(upstreams int, set map[string]bool, hedge string, breakAfter, maxCache int) error {
+	if set["hedge"] && hedge != "off" && upstreams < 2 {
+		return fmt.Errorf("-hedge %s needs at least two -upstream resolvers — a hedged query with one upstream has nowhere else to go; add an upstream or use -hedge off", hedge)
+	}
+	if breakAfter <= 0 {
+		return fmt.Errorf("-break-after %d must be positive: it is the consecutive-failure count that opens an upstream's circuit breaker (default 3)", breakAfter)
+	}
+	if maxCache <= 0 {
+		return fmt.Errorf("-max-cache %d must be positive: the cache is LRU-bounded to protect memory (default 65536)", maxCache)
+	}
+	return nil
+}
+
 // clientsByPort builds one dnsclient per distinct upstream port (the
 // transports carry a fixed port). Retries stays at 1: retrying across
 // upstreams is the pool's job, and double-retrying would hide failures
@@ -79,7 +98,7 @@ func main() {
 	upstreamPort := flag.Uint("upstream-port", 53, "default port for -upstream entries without one")
 	maxTTL := flag.Duration("max-ttl", time.Hour, "cache lifetime cap")
 	serveStale := flag.Duration("serve-stale", time.Hour, "serve expired entries up to this long past expiry when upstreams fail (RFC 8767; 0 = off)")
-	maxCache := flag.Int("max-cache", 65536, "max cached entries before LRU eviction (0 = unbounded)")
+	maxCache := flag.Int("max-cache", 65536, "max cached entries before LRU eviction (must be positive)")
 	hedge := flag.String("hedge", "adaptive", "hedged-query delay: adaptive (tracked p95), off, or a fixed duration like 20ms")
 	probe := flag.Duration("probe", 0, "active upstream health-probe interval (0 = off)")
 	breakAfter := flag.Int("break-after", 3, "consecutive failures that open an upstream's circuit breaker")
@@ -92,6 +111,11 @@ func main() {
 
 	ups, err := parseUpstreams(*upstreams, uint16(*upstreamPort))
 	if err != nil {
+		log.Fatalf("fwdns: %v", err)
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(len(ups), set, *hedge, *breakAfter, *maxCache); err != nil {
 		log.Fatalf("fwdns: %v", err)
 	}
 	cfg := upstream.Config{FailureThreshold: *breakAfter}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	explicit := func(names ...string) map[string]bool {
+		set := map[string]bool{}
+		for _, n := range names {
+			set[n] = true
+		}
+		return set
+	}
+	cases := []struct {
+		name       string
+		upstreams  int
+		set        map[string]bool
+		hedge      string
+		breakAfter int
+		maxCache   int
+		wantErr    string // substring; "" = valid
+	}{
+		{"defaults with one upstream", 1, explicit(), "adaptive", 3, 65536, ""},
+		{"explicit hedge with two upstreams", 2, explicit("hedge"), "adaptive", 3, 65536, ""},
+		{"explicit hedge off with one upstream", 1, explicit("hedge"), "off", 3, 65536, ""},
+		{"explicit adaptive hedge with one upstream", 1, explicit("hedge"), "adaptive", 3, 65536, "at least two -upstream"},
+		{"explicit duration hedge with one upstream", 1, explicit("hedge"), "20ms", 3, 65536, "at least two -upstream"},
+		{"zero break-after", 2, explicit("break-after"), "adaptive", 0, 65536, "-break-after 0 must be positive"},
+		{"negative break-after", 1, explicit(), "adaptive", -1, 65536, "-break-after -1 must be positive"},
+		{"zero max-cache", 1, explicit("max-cache"), "adaptive", 3, 0, "-max-cache 0 must be positive"},
+		{"negative max-cache", 1, explicit(), "adaptive", 3, -5, "-max-cache -5 must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.upstreams, tc.set, tc.hedge, tc.breakAfter, tc.maxCache)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags: %v, want ok", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateFlags = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseUpstreams(t *testing.T) {
+	ups, err := parseUpstreams("8.8.8.8, 1.1.1.1:5353", 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 2 || ups[0].Port() != 53 || ups[1].Port() != 5353 {
+		t.Fatalf("ups = %v", ups)
+	}
+	for _, bad := range []string{"", "not-an-addr", "8.8.8.8,,"} {
+		if got, err := parseUpstreams(bad, 53); err == nil && len(got) != 1 {
+			t.Fatalf("parseUpstreams(%q) = %v, want error or single", bad, got)
+		}
+	}
+	if _, err := parseUpstreams("nonsense", 53); err == nil {
+		t.Fatal("parseUpstreams accepted a non-address")
+	}
+}

@@ -1,0 +1,479 @@
+package controlplane
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/trace"
+)
+
+// fakeClock is a mutex-protected manual clock injected into both sides
+// so lease expiry is deterministic in tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// testExp builds a deterministic experiment for seq; tests that bypass
+// the real campaign runner use it on both the worker and serial side.
+func testExp(seq int) *dataset.Experiment {
+	return &dataset.Experiment{Seq: seq, ClientID: fmt.Sprintf("client-%04d", seq), Carrier: "TestNet"}
+}
+
+func testRunSeq(seq int) (*dataset.Experiment, error) { return testExp(seq), nil }
+
+// startCoordinator builds a coordinator over total fake experiments on a
+// loopback listener, returning it with its address.
+func startCoordinator(t *testing.T, clk *fakeClock, cfg CoordinatorConfig) (*Coordinator, string) {
+	t.Helper()
+	if cfg.ConfigHash == "" {
+		// The pushed config's true fingerprint: RunWorker re-verifies the
+		// wire round-trip, so a made-up hash would turn every worker away.
+		cfg.ConfigHash = cfg.Wire.Config().Hash()
+	}
+	if cfg.Now == nil && clk != nil {
+		cfg.Now = clk.Now
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 100 * time.Millisecond
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = 5 * time.Millisecond
+	}
+	cfg.Logf = t.Logf
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	c := NewCoordinator(cfg)
+	c.Start(ln)
+	return c, ln.Addr().String()
+}
+
+// testWorker returns a WorkerConfig wired at addr running the fake
+// per-seq executor.
+func testWorker(id, addr string) WorkerConfig {
+	return WorkerConfig{
+		ID: id, Addr: addr,
+		HeartbeatEvery: time.Hour, // tests heartbeat explicitly where it matters
+		Build: func(WireConfig, int) (RunRange, error) {
+			return CampaignRunner(testRunSeq), nil
+		},
+	}
+}
+
+// rawClient speaks the wire protocol directly so tests can misbehave in
+// ways RunWorker never would.
+type rawClient struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+func dialRaw(t *testing.T, addr string) *rawClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawClient{t: t, conn: conn}
+}
+
+func (r *rawClient) send(m *Message) {
+	r.t.Helper()
+	if err := writeMsg(r.conn, time.Minute, m); err != nil {
+		r.t.Fatalf("send %s: %v", m.Type, err)
+	}
+}
+
+func (r *rawClient) recv() *Message {
+	r.t.Helper()
+	m, err := readMsg(r.conn, time.Minute)
+	if err != nil {
+		r.t.Fatalf("recv: %v", err)
+	}
+	return m
+}
+
+// handshake joins as a well-configured worker and returns the config
+// push.
+func (r *rawClient) handshake(id string) *Message {
+	r.t.Helper()
+	r.send(&Message{Type: MsgHello, Proto: ProtoVersion, Worker: id})
+	m := r.recv()
+	if m.Type != MsgConfig {
+		r.t.Fatalf("handshake reply %q, want config", m.Type)
+	}
+	return m
+}
+
+// lease requests a range and requires one to be granted.
+func (r *rawClient) lease() *Message {
+	r.t.Helper()
+	r.send(&Message{Type: MsgLease})
+	m := r.recv()
+	if m.Type != MsgRange {
+		r.t.Fatalf("lease reply %q, want range", m.Type)
+	}
+	return m
+}
+
+func segmentFor(m *Message) *Message {
+	seg := &Message{Type: MsgSegment, Lease: m.Lease}
+	for seq := m.From; seq <= m.To; seq++ {
+		seg.Experiments = append(seg.Experiments, testExp(seq))
+	}
+	return seg
+}
+
+func jsonl(t *testing.T, ds *dataset.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ds.WriteJSONL(&buf); err != nil {
+		t.Fatalf("jsonl: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func serialJSONL(t *testing.T, total int) []byte {
+	t.Helper()
+	ds := &dataset.Dataset{}
+	for seq := 1; seq <= total; seq++ {
+		ds.Add(testExp(seq))
+	}
+	return jsonl(t, ds)
+}
+
+// TestCoordinatedMatchesSerial runs three concurrent workers and
+// requires the merged dataset byte-identical to the serial one.
+func TestCoordinatedMatchesSerial(t *testing.T) {
+	const total = 100
+	clk := newFakeClock()
+	c, addr := startCoordinator(t, clk, CoordinatorConfig{Total: total, LeaseSize: 7})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := RunWorker(testWorker(fmt.Sprintf("w%d", i), addr)); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	ds, st, err := c.Wait()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.Completed != total || st.DupSeqs != 0 {
+		t.Fatalf("status = %+v, want %d completed, 0 dups", st, total)
+	}
+	if got, want := jsonl(t, ds), serialJSONL(t, total); !bytes.Equal(got, want) {
+		t.Fatalf("merged dataset diverges from serial (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestWorkerKilledMidRange crashes a raw client while it holds a lease
+// (conn dies, as after SIGKILL): the coordinator must return the range
+// to the pool immediately and a healthy worker must finish the campaign.
+func TestWorkerKilledMidRange(t *testing.T) {
+	const total = 40
+	clk := newFakeClock()
+	c, addr := startCoordinator(t, clk, CoordinatorConfig{Total: total, LeaseSize: 8})
+
+	victim := dialRaw(t, addr)
+	victim.handshake("victim")
+	granted := victim.lease()
+	victim.conn.Close() // SIGKILL: the socket dies with the process
+
+	if _, err := RunWorker(testWorker("steady", addr)); err != nil {
+		t.Fatalf("steady worker: %v", err)
+	}
+	ds, st, err := c.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.Released != 1 {
+		t.Fatalf("Released = %d, want 1 (victim's lease %d-%d back in the pool)", st.Released, granted.From, granted.To)
+	}
+	if got, want := jsonl(t, ds), serialJSONL(t, total); !bytes.Equal(got, want) {
+		t.Fatal("dataset diverges from serial after mid-range worker death")
+	}
+}
+
+// TestHungWorkerLeaseExpires keeps a lease-holding conn open but silent:
+// once the injected clock passes LeaseTimeout, the next lease request
+// must be served by reassigning the hung worker's range.
+func TestHungWorkerLeaseExpires(t *testing.T) {
+	const total = 8
+	clk := newFakeClock()
+	c, addr := startCoordinator(t, clk, CoordinatorConfig{
+		Total: total, LeaseSize: 8, LeaseTimeout: 10 * time.Second,
+	})
+
+	hung := dialRaw(t, addr)
+	hung.handshake("hung")
+	granted := hung.lease() // the only range; hung never heartbeats again
+
+	// Heartbeats inside the window keep the lease alive.
+	clk.Advance(6 * time.Second)
+	hung.send(&Message{Type: MsgHeartbeat, Lease: granted.Lease, Done: 1})
+
+	rescue := dialRaw(t, addr)
+	rescue.handshake("rescue")
+	rescue.send(&Message{Type: MsgLease})
+	if m := rescue.recv(); m.Type != MsgWait {
+		t.Fatalf("lease while hung worker is live = %q, want wait", m.Type)
+	}
+
+	// Silence past the timeout: the range must be reassigned.
+	clk.Advance(11 * time.Second)
+	re := rescue.lease()
+	if re.From != granted.From || re.To != granted.To {
+		t.Fatalf("reassigned range %d-%d, want the hung worker's %d-%d", re.From, re.To, granted.From, granted.To)
+	}
+	rescue.send(segmentFor(re))
+	if ack := rescue.recv(); ack.Type != MsgAck || ack.Dups != 0 {
+		t.Fatalf("ack = %+v, want clean ack", ack)
+	}
+	ds, st, err := c.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.Reassigned != 1 {
+		t.Fatalf("Reassigned = %d, want 1", st.Reassigned)
+	}
+	if got, want := jsonl(t, ds), serialJSONL(t, total); !bytes.Equal(got, want) {
+		t.Fatal("dataset diverges from serial after hung-worker reassignment")
+	}
+}
+
+// TestLateDuplicateSegment delivers the same range twice: once from the
+// worker that finished after losing its lease, once from the
+// reassignment. The second copy must be dropped seq-by-seq — the merge
+// stays exactly-once no matter how late a zombie reports.
+func TestLateDuplicateSegment(t *testing.T) {
+	const total = 6
+	clk := newFakeClock()
+	c, addr := startCoordinator(t, clk, CoordinatorConfig{
+		Total: total, LeaseSize: 6, LeaseTimeout: 10 * time.Second,
+	})
+
+	zombie := dialRaw(t, addr)
+	zombie.handshake("zombie")
+	granted := zombie.lease()
+
+	clk.Advance(11 * time.Second) // zombie's lease expires
+	fresh := dialRaw(t, addr)
+	fresh.handshake("fresh")
+	re := fresh.lease()
+	fresh.send(segmentFor(re))
+	if ack := fresh.recv(); ack.Dups != 0 {
+		t.Fatalf("fresh ack dups = %d, want 0", ack.Dups)
+	}
+
+	// The zombie wakes up and delivers the same range late.
+	zombie.send(segmentFor(granted))
+	ack := zombie.recv()
+	if ack.Type != MsgAck || ack.Dups != total {
+		t.Fatalf("late duplicate ack = %+v, want %d dups", ack, total)
+	}
+
+	ds, st, err := c.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.DupSeqs != total || st.Completed != total {
+		t.Fatalf("status = %+v, want %d dup seqs and %d completed", st, total, total)
+	}
+	if got, want := jsonl(t, ds), serialJSONL(t, total); !bytes.Equal(got, want) {
+		t.Fatal("dataset diverges from serial after duplicate delivery")
+	}
+}
+
+// TestFingerprintMismatchRejected refuses a worker configured for a
+// different campaign at handshake, naming both hashes.
+func TestFingerprintMismatchRejected(t *testing.T) {
+	realHash := WireConfig{}.Config().Hash()
+	clk := newFakeClock()
+	c, addr := startCoordinator(t, clk, CoordinatorConfig{Total: 4})
+
+	w := testWorker("misconfigured", addr)
+	w.ConfigHash = "bbbb999988887777"
+	_, err := RunWorker(w)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("misconfigured worker error = %v, want ErrRejected", err)
+	}
+	for _, hash := range []string{realHash, "bbbb999988887777"} {
+		if !strings.Contains(err.Error(), hash) {
+			t.Fatalf("rejection %q does not name hash %s", err, hash)
+		}
+	}
+
+	// A matching claim is accepted and the campaign completes.
+	ok := testWorker("matching", addr)
+	ok.ConfigHash = realHash
+	if _, err := RunWorker(ok); err != nil {
+		t.Fatalf("matching worker: %v", err)
+	}
+	_, st, err := c.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.Rejected != 1 || st.WorkersSeen != 1 {
+		t.Fatalf("status = %+v, want 1 rejected, 1 seen", st)
+	}
+}
+
+// TestProtocolVersionRejected refuses a peer speaking a different
+// protocol version before any work is leased.
+func TestProtocolVersionRejected(t *testing.T) {
+	clk := newFakeClock()
+	c, addr := startCoordinator(t, clk, CoordinatorConfig{Total: 2})
+	raw := dialRaw(t, addr)
+	raw.send(&Message{Type: MsgHello, Proto: ProtoVersion + 1, Worker: "future"})
+	if m := raw.recv(); m.Type != MsgReject || !strings.Contains(m.Reason, "protocol version") {
+		t.Fatalf("reply = %+v, want protocol-version reject", m)
+	}
+	c.Interrupt()
+	if _, _, err := c.Wait(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("Wait = %v, want ErrInterrupted", err)
+	}
+}
+
+// TestCoordinatorResume interrupts a coordinated campaign, then resumes
+// it from the checkpoint: only missing seqs are leased, reused ones are
+// merged as-is, and the final dataset is byte-identical to serial.
+func TestCoordinatorResume(t *testing.T) {
+	const total = 30
+	dir := t.TempDir()
+	manifest := dataset.Manifest{Seed: 11, ConfigHash: "feedfacefeedface", Total: total}
+	ck, err := dataset.CreateCheckpoint(dir, manifest, 1)
+	if err != nil {
+		t.Fatalf("create checkpoint: %v", err)
+	}
+
+	clk := newFakeClock()
+	c, addr := startCoordinator(t, clk, CoordinatorConfig{Total: total, LeaseSize: 5, Checkpoint: ck})
+	first := dialRaw(t, addr)
+	first.handshake("first")
+	granted := first.lease()
+	first.send(segmentFor(granted))
+	first.recv()
+	c.Interrupt()
+	if _, st, err := c.Wait(); !errors.Is(err, ErrInterrupted) || st.Completed != 5 {
+		t.Fatalf("interrupted Wait = (%+v, %v), want ErrInterrupted with 5 durable", st, err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatalf("close checkpoint: %v", err)
+	}
+
+	reopened, priorDS, _, err := dataset.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("reopen checkpoint: %v", err)
+	}
+	prior := map[int]*dataset.Experiment{}
+	for _, e := range priorDS.Experiments {
+		prior[e.Seq] = e
+	}
+	if len(prior) != 5 {
+		t.Fatalf("prior has %d experiments, want 5", len(prior))
+	}
+	c2, addr2 := startCoordinator(t, clk, CoordinatorConfig{
+		Total: total, LeaseSize: 5, Checkpoint: reopened, Prior: prior,
+	})
+	if _, err := RunWorker(testWorker("resumer", addr2)); err != nil {
+		t.Fatalf("resume worker: %v", err)
+	}
+	ds, st, err := c2.Wait()
+	if err != nil {
+		t.Fatalf("resumed Wait: %v", err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatalf("close reopened: %v", err)
+	}
+	if st.Reused != 5 || st.Completed != total {
+		t.Fatalf("resumed status = %+v, want 5 reused, %d completed", st, total)
+	}
+	if got, want := jsonl(t, ds), serialJSONL(t, total); !bytes.Equal(got, want) {
+		t.Fatal("resumed dataset diverges from serial")
+	}
+}
+
+// TestWorkerDrainOnInterrupt closes the worker's interrupt mid-campaign:
+// it must finish and deliver the range it holds, then leave with
+// Drained set while the coordinator keeps the campaign open.
+func TestWorkerDrainOnInterrupt(t *testing.T) {
+	const total = 20
+	clk := newFakeClock()
+	c, addr := startCoordinator(t, clk, CoordinatorConfig{Total: total, LeaseSize: 5})
+
+	interrupt := make(chan struct{})
+	w := testWorker("drainer", addr)
+	w.Interrupt = interrupt
+	w.Build = func(WireConfig, int) (RunRange, error) {
+		return func(from, to int, emit func(*dataset.Experiment) error) error {
+			close(interrupt) // interrupt fires while the range runs
+			for seq := from; seq <= to; seq++ {
+				if err := emit(testExp(seq)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	}
+	st, err := RunWorker(w)
+	if err != nil {
+		t.Fatalf("draining worker: %v", err)
+	}
+	if !st.Drained || st.Ranges != 1 || st.Experiments != 5 {
+		t.Fatalf("drain stats = %+v, want Drained with exactly one delivered range", st)
+	}
+
+	if _, err := RunWorker(testWorker("finisher", addr)); err != nil {
+		t.Fatalf("finisher: %v", err)
+	}
+	ds, _, err := c.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got, want := jsonl(t, ds), serialJSONL(t, total); !bytes.Equal(got, want) {
+		t.Fatal("dataset diverges from serial after worker drain")
+	}
+}
+
+// TestWireConfigRoundTrip guards against wire schema drift: a pushed
+// config must rebuild to the exact fingerprint of the original.
+func TestWireConfigRoundTrip(t *testing.T) {
+	cfg := trace.DefaultConfig(77)
+	cfg.End = cfg.Start.Add(48 * time.Hour)
+	cfg.ClientScale = 0.25
+	cfg.Faults = "resolver-outage"
+	wc := WireFromConfig(cfg)
+	if got := wc.Config().Hash(); got != cfg.Hash() {
+		t.Fatalf("round-tripped hash %s != original %s (WireConfig lost a field?)", got, cfg.Hash())
+	}
+}

@@ -1,0 +1,203 @@
+// Package controlplane splits campaign execution into a coordinator and
+// N worker processes (DESIGN.md §14). The coordinator owns the campaign
+// identity — seed, trace.Config fingerprint, fault scenario — carves the
+// experiment space into seq-keyed ranges and leases them to workers over
+// a small length-prefixed protocol:
+//
+//	worker                          coordinator
+//	  hello{worker, config_hash} ->
+//	                              <- config{wire config, hash, total}   (or reject)
+//	  lease{}                    ->
+//	                              <- range{lease, from, to}  (or wait / done)
+//	  heartbeat{lease, done}     ->                          (no reply)
+//	  segment{lease, exps}       ->
+//	                              <- ack{dups}
+//	  bye{}                      ->
+//
+// Robustness is the point: a worker that crashes (conn drops) or hangs
+// (heartbeats stop) loses its lease, and the range is reassigned to a
+// healthy worker. Execution is therefore at-least-once; the merge is
+// exactly-once because every completed experiment is deduplicated by its
+// canonical sequence number against the coordinator's checkpoint state
+// before it is appended. Per-experiment RNG streams keyed by
+// (seed, client, seq) make re-execution bit-identical, so the merged
+// dataset is byte-identical to a serial run no matter how many workers
+// ran, died, or joined late.
+package controlplane
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/trace"
+)
+
+// ProtoVersion is bumped on incompatible protocol changes; the hello
+// handshake rejects mismatched peers before any work is leased.
+const ProtoVersion = 1
+
+// maxMessage bounds one frame. The largest legitimate message is a
+// segment of LeaseSize experiments (a few KB each); 64 MB leaves two
+// orders of magnitude of headroom while still rejecting garbage frames
+// from a stray client before allocating.
+const maxMessage = 64 << 20
+
+// Message types.
+const (
+	MsgHello     = "hello"     // worker -> coordinator: join + fingerprint claim
+	MsgConfig    = "config"    // coordinator -> worker: authoritative campaign config
+	MsgReject    = "reject"    // coordinator -> worker: handshake refused
+	MsgLease     = "lease"     // worker -> coordinator: request a range
+	MsgRange     = "range"     // coordinator -> worker: leased seq range
+	MsgWait      = "wait"      // coordinator -> worker: nothing free, retry later
+	MsgDone      = "done"      // coordinator -> worker: campaign complete, go home
+	MsgHeartbeat = "heartbeat" // worker -> coordinator: lease is alive (no reply)
+	MsgSegment   = "segment"   // worker -> coordinator: completed range results
+	MsgAck       = "ack"       // coordinator -> worker: segment durable
+	MsgBye       = "bye"       // worker -> coordinator: leaving voluntarily
+)
+
+// Message is one protocol frame. A single flat struct keeps the codec
+// trivial; unused fields are omitted on the wire.
+type Message struct {
+	Type string `json:"type"`
+	// Proto is the sender's protocol version (hello only).
+	Proto int `json:"proto,omitempty"`
+	// Worker names the worker process (hello; echoed in logs).
+	Worker string `json:"worker,omitempty"`
+	// ConfigHash is the trace.Config fingerprint: the worker's claim in
+	// hello ("" = none, adopt the pushed config), the authoritative value
+	// in config.
+	ConfigHash string `json:"config_hash,omitempty"`
+	// Reason explains a reject.
+	Reason string `json:"reason,omitempty"`
+	// Config is the pushed campaign configuration (config only).
+	Config *WireConfig `json:"config,omitempty"`
+	// Total is the experiment count of the full campaign (config only).
+	Total int `json:"total,omitempty"`
+	// Lease identifies a granted lease (range/heartbeat/segment/ack).
+	Lease int `json:"lease,omitempty"`
+	// From/To bound the leased seq range, inclusive (range only).
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Done is the worker's progress inside the range (heartbeat only).
+	Done int `json:"done,omitempty"`
+	// RetryMillis is the suggested poll delay (wait only).
+	RetryMillis int `json:"retry_millis,omitempty"`
+	// Dups is how many of a segment's experiments were already durable —
+	// the visible face of the exactly-once merge (ack only).
+	Dups int `json:"dups,omitempty"`
+	// Experiments carries a completed range's results (segment only).
+	Experiments []*dataset.Experiment `json:"experiments,omitempty"`
+}
+
+// WireConfig is the serializable subset of trace.Config the coordinator
+// pushes at handshake: every dataset-determining field and nothing about
+// execution (worker counts, checkpoints, interrupts are per-process
+// concerns). Round-tripping through it preserves trace.Config.Hash().
+type WireConfig struct {
+	Seed            uint64        `json:"seed"`
+	Start           time.Time     `json:"start"`
+	End             time.Time     `json:"end"`
+	Interval        time.Duration `json:"interval"`
+	LTEShare        float64       `json:"lte_share"`
+	TravelProb      float64       `json:"travel_prob"`
+	ClientScale     float64       `json:"client_scale"`
+	TracerouteEvery int           `json:"traceroute_every"`
+	Faults          string        `json:"faults,omitempty"`
+}
+
+// WireFromConfig extracts the pushable fields of a campaign config.
+func WireFromConfig(cfg trace.Config) WireConfig {
+	return WireConfig{
+		Seed:            cfg.Seed,
+		Start:           cfg.Start,
+		End:             cfg.End,
+		Interval:        cfg.Interval,
+		LTEShare:        cfg.LTEShare,
+		TravelProb:      cfg.TravelProb,
+		ClientScale:     cfg.ClientScale,
+		TracerouteEvery: cfg.TracerouteEvery,
+		Faults:          cfg.Faults,
+	}
+}
+
+// Config rebuilds the trace configuration a worker must execute:
+// single-shard, no checkpointing — durability lives with the
+// coordinator, workers only run experiments.
+func (wc WireConfig) Config() trace.Config {
+	return trace.Config{
+		Seed:            wc.Seed,
+		Start:           wc.Start,
+		End:             wc.End,
+		Interval:        wc.Interval,
+		LTEShare:        wc.LTEShare,
+		TravelProb:      wc.TravelProb,
+		ClientScale:     wc.ClientScale,
+		TracerouteEvery: wc.TracerouteEvery,
+		Faults:          wc.Faults,
+	}
+}
+
+// wallDeadline converts a relative I/O timeout into the absolute
+// wall-clock deadline the socket API wants; zero means no deadline.
+// Socket deadlines are real time by contract — the deterministic lease
+// machinery uses the injectable clock instead.
+func wallDeadline(timeout time.Duration) time.Time {
+	if timeout <= 0 {
+		return time.Time{}
+	}
+	//lint:ignore determinism socket deadlines are wall-clock by contract; lease expiry runs on the injectable clock
+	return time.Now().Add(timeout)
+}
+
+// writeMsg frames one message as 4-byte big-endian length + JSON and
+// writes it in a single Write under a write deadline.
+func writeMsg(conn net.Conn, timeout time.Duration, m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("controlplane: encode %s: %w", m.Type, err)
+	}
+	if len(body) > maxMessage {
+		return fmt.Errorf("controlplane: %s message is %d bytes, over the %d frame bound", m.Type, len(body), maxMessage)
+	}
+	if err := conn.SetWriteDeadline(wallDeadline(timeout)); err != nil {
+		return fmt.Errorf("controlplane: set write deadline: %w", err)
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("controlplane: write %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// readMsg reads one length-prefixed frame under a read deadline.
+func readMsg(conn net.Conn, timeout time.Duration) (*Message, error) {
+	if err := conn.SetReadDeadline(wallDeadline(timeout)); err != nil {
+		return nil, fmt.Errorf("controlplane: set read deadline: %w", err)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, fmt.Errorf("controlplane: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxMessage {
+		return nil, fmt.Errorf("controlplane: frame length %d outside 1..%d", n, maxMessage)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return nil, fmt.Errorf("controlplane: read frame body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("controlplane: decode frame: %w", err)
+	}
+	return &m, nil
+}

@@ -9,10 +9,15 @@
 //
 // Modes:
 //
-//	ok       answer A/AAAA/TXT with the configured TTL
-//	down     return dnsserver.Drop — total silence, the client times out
-//	servfail answer SERVFAIL (server up, declaring failure)
-//	slow     answer like ok after Delay (timeout pressure without loss)
+//	ok        answer A/AAAA/TXT with the configured TTL
+//	down      return dnsserver.Drop — total silence, the client times out
+//	servfail  answer SERVFAIL (server up, declaring failure)
+//	slow      answer like ok after Delay (timeout pressure without loss)
+//	loss=FRAC drop exactly that fraction of queries (0 < FRAC ≤ 1),
+//	          answering the rest like ok — partial failure, not all-or-
+//	          nothing. The drop pattern is a deterministic error-diffusion
+//	          accumulator, not a coin flip: every run of N queries loses
+//	          ⌊N·FRAC⌋ or ⌈N·FRAC⌉ of them, evenly spread.
 //
 // The script sticks on its last phase forever, so "ok:5s,down:600s" is
 // "healthy for five seconds, then an outage longer than any test run".
@@ -21,6 +26,7 @@ package flakydns
 import (
 	"fmt"
 	"net/netip"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -38,6 +44,7 @@ const (
 	ModeDown
 	ModeServFail
 	ModeSlow
+	ModeLoss
 )
 
 // String returns the script keyword for the mode.
@@ -51,20 +58,25 @@ func (m Mode) String() string {
 		return "servfail"
 	case ModeSlow:
 		return "slow"
+	case ModeLoss:
+		return "loss"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
 }
 
-// Phase is one step of the script: behave as Mode for Dur.
+// Phase is one step of the script: behave as Mode for Dur. Frac is the
+// drop fraction for ModeLoss phases and zero otherwise.
 type Phase struct {
 	Mode Mode
 	Dur  time.Duration
+	Frac float64
 }
 
 // ParseScript parses a comma-separated phase list like
-// "ok:5s,down:600s". Every phase needs a positive duration; the last
-// phase still takes one for symmetry but effectively runs forever.
+// "ok:5s,loss=0.25:10s,down:600s". Every phase needs a positive
+// duration; the last phase still takes one for symmetry but effectively
+// runs forever.
 func ParseScript(s string) ([]Phase, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, fmt.Errorf("flakydns: empty script")
@@ -75,18 +87,35 @@ func ParseScript(s string) ([]Phase, error) {
 		if !ok {
 			return nil, fmt.Errorf("flakydns: phase %q: want mode:duration", part)
 		}
-		var m Mode
+		mode, arg, hasArg := strings.Cut(mode, "=")
+		p := Phase{}
 		switch strings.ToLower(mode) {
 		case "ok":
-			m = ModeOK
+			p.Mode = ModeOK
 		case "down":
-			m = ModeDown
+			p.Mode = ModeDown
 		case "servfail":
-			m = ModeServFail
+			p.Mode = ModeServFail
 		case "slow":
-			m = ModeSlow
+			p.Mode = ModeSlow
+		case "loss":
+			p.Mode = ModeLoss
+			if !hasArg {
+				return nil, fmt.Errorf("flakydns: phase %q: loss needs a fraction, like loss=0.25", part)
+			}
+			frac, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return nil, fmt.Errorf("flakydns: phase %q: bad loss fraction: %w", part, err)
+			}
+			if frac <= 0 || frac > 1 {
+				return nil, fmt.Errorf("flakydns: phase %q: loss fraction %g outside (0, 1]", part, frac)
+			}
+			p.Frac = frac
 		default:
 			return nil, fmt.Errorf("flakydns: phase %q: unknown mode %q", part, mode)
+		}
+		if hasArg && p.Mode != ModeLoss {
+			return nil, fmt.Errorf("flakydns: phase %q: mode %q takes no argument", part, mode)
 		}
 		d, err := time.ParseDuration(durStr)
 		if err != nil {
@@ -95,7 +124,8 @@ func ParseScript(s string) ([]Phase, error) {
 		if d <= 0 {
 			return nil, fmt.Errorf("flakydns: phase %q: duration must be positive", part)
 		}
-		phases = append(phases, Phase{Mode: m, Dur: d})
+		p.Dur = d
+		phases = append(phases, p)
 	}
 	return phases, nil
 }
@@ -106,6 +136,9 @@ type Counters struct {
 	Dropped  uint64
 	ServFail uint64
 	Slowed   uint64
+	// Lost counts queries dropped by a loss phase (partial failure);
+	// Dropped counts the down phase's total silence.
+	Lost uint64
 }
 
 // Handler answers queries per the script. It is safe for concurrent use
@@ -131,6 +164,10 @@ type Handler struct {
 
 	mu sync.Mutex
 	c  Counters
+	// lossAcc is the loss mode's error-diffusion accumulator: each query
+	// adds the phase's fraction, and every time it crosses 1 exactly one
+	// query is dropped — deterministic loss, evenly spread.
+	lossAcc float64
 }
 
 // New builds a handler over the parsed script. The phase clock starts
@@ -159,15 +196,21 @@ func (h *Handler) now() time.Time {
 // Mode returns the scripted mode in effect right now, starting the
 // phase clock on first use.
 func (h *Handler) Mode() Mode {
+	return h.phase().Mode
+}
+
+// phase returns the script phase in effect right now, starting the
+// phase clock on first use.
+func (h *Handler) phase() Phase {
 	h.once.Do(func() { h.start = h.now() })
 	elapsed := h.now().Sub(h.start)
 	for _, p := range h.phases {
 		if elapsed < p.Dur {
-			return p.Mode
+			return p
 		}
 		elapsed -= p.Dur
 	}
-	return h.phases[len(h.phases)-1].Mode // stick on the final phase
+	return h.phases[len(h.phases)-1] // stick on the final phase
 }
 
 // Counters returns a snapshot of the per-mode query counts.
@@ -179,7 +222,8 @@ func (h *Handler) Counters() Counters {
 
 // ServeDNS implements dnsserver.Handler.
 func (h *Handler) ServeDNS(_ netip.AddrPort, query *dnswire.Message) *dnswire.Message {
-	mode := h.Mode()
+	p := h.phase()
+	mode := p.Mode
 	h.mu.Lock()
 	switch mode {
 	case ModeDown:
@@ -188,6 +232,15 @@ func (h *Handler) ServeDNS(_ netip.AddrPort, query *dnswire.Message) *dnswire.Me
 		h.c.ServFail++
 	case ModeSlow:
 		h.c.Slowed++
+	case ModeLoss:
+		h.lossAcc += p.Frac
+		if h.lossAcc >= 1 {
+			h.lossAcc--
+			h.c.Lost++
+			h.mu.Unlock()
+			return dnsserver.Drop
+		}
+		h.c.OK++
 	default:
 		h.c.OK++
 	}

@@ -11,15 +11,16 @@ import (
 )
 
 func TestParseScript(t *testing.T) {
-	phases, err := ParseScript("ok:5s, down:600s,servfail:1m,slow:30s")
+	phases, err := ParseScript("ok:5s, down:600s,servfail:1m,slow:30s,loss=0.25:10s")
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := []Phase{
-		{ModeOK, 5 * time.Second},
-		{ModeDown, 600 * time.Second},
-		{ModeServFail, time.Minute},
-		{ModeSlow, 30 * time.Second},
+		{Mode: ModeOK, Dur: 5 * time.Second},
+		{Mode: ModeDown, Dur: 600 * time.Second},
+		{Mode: ModeServFail, Dur: time.Minute},
+		{Mode: ModeSlow, Dur: 30 * time.Second},
+		{Mode: ModeLoss, Dur: 10 * time.Second, Frac: 0.25},
 	}
 	if len(phases) != len(want) {
 		t.Fatalf("phases = %v", phases)
@@ -29,7 +30,10 @@ func TestParseScript(t *testing.T) {
 			t.Fatalf("phase %d = %v, want %v", i, p, want[i])
 		}
 	}
-	for _, bad := range []string{"", "ok", "ok:0s", "ok:-5s", "maybe:5s", "ok:5s,,down:1s"} {
+	for _, bad := range []string{
+		"", "ok", "ok:0s", "ok:-5s", "maybe:5s", "ok:5s,,down:1s",
+		"loss:5s", "loss=:5s", "loss=0:5s", "loss=1.5:5s", "loss=-0.2:5s", "loss=x:5s", "down=0.5:5s",
+	} {
 		if _, err := ParseScript(bad); err == nil {
 			t.Fatalf("ParseScript(%q) accepted", bad)
 		}
@@ -101,6 +105,49 @@ func TestSlowPhaseDelays(t *testing.T) {
 		t.Fatalf("slept %v", slept)
 	}
 	if c := h.Counters(); c.Slowed != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestLossPhaseDropsExactFraction drives N queries through a loss phase
+// and requires exactly N·frac drops, deterministically and evenly spread
+// (never two drops in a row at 25%).
+func TestLossPhaseDropsExactFraction(t *testing.T) {
+	h, _ := testHandler(t, "loss=0.25:10s")
+	remote := netip.MustParseAddrPort("127.0.0.1:4242")
+	const n = 400
+	drops, run := 0, 0
+	for i := 0; i < n; i++ {
+		if h.ServeDNS(remote, query("l.example", dnswire.TypeA)) == dnsserver.Drop {
+			drops++
+			run++
+			if run > 1 {
+				t.Fatalf("query %d: consecutive drops at 25%% loss (not error-diffused)", i)
+			}
+		} else {
+			run = 0
+		}
+	}
+	if drops != n/4 {
+		t.Fatalf("dropped %d of %d queries, want exactly %d", drops, n, n/4)
+	}
+	c := h.Counters()
+	if c.Lost != uint64(n/4) || c.OK != uint64(n-n/4) || c.Dropped != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestLossFullFractionDropsEverything checks the loss=1 edge: every
+// query is dropped, like down but accounted as loss.
+func TestLossFullFractionDropsEverything(t *testing.T) {
+	h, _ := testHandler(t, "loss=1:10s")
+	remote := netip.MustParseAddrPort("127.0.0.1:4242")
+	for i := 0; i < 10; i++ {
+		if h.ServeDNS(remote, query("l.example", dnswire.TypeA)) != dnsserver.Drop {
+			t.Fatalf("query %d answered under loss=1", i)
+		}
+	}
+	if c := h.Counters(); c.Lost != 10 || c.OK != 0 {
 		t.Fatalf("counters = %+v", c)
 	}
 }

@@ -466,11 +466,68 @@ func (c *Campaign) runExperiment(step, clientIdx int) (exp *dataset.Experiment) 
 	return c.runner.RunAt(client, now, seq, stream)
 }
 
+// Total returns the number of experiments in the full campaign.
+func (c *Campaign) Total() int {
+	return c.Steps() * len(c.Clients)
+}
+
+// RunSeq executes the single experiment with canonical sequence number
+// seq (1-based). Like runExperiment, the result depends only on the
+// experiment's identity — never on which process runs it or what ran
+// before — so a distributed control plane can lease arbitrary seq ranges
+// to worker processes and still merge a dataset byte-identical to a
+// serial run (DESIGN.md §14).
+func (c *Campaign) RunSeq(seq int) (*dataset.Experiment, error) {
+	total := c.Total()
+	if seq < 1 || seq > total {
+		return nil, fmt.Errorf("trace: seq %d outside 1..%d", seq, total)
+	}
+	clients := len(c.Clients)
+	return c.runExperiment((seq-1)/clients, (seq-1)%clients), nil
+}
+
 // Collect runs the campaign into a fresh in-memory dataset.
 func (c *Campaign) Collect() *dataset.Dataset {
 	d := &dataset.Dataset{}
 	c.Run(d.Add)
 	return d
+}
+
+// ConfigMismatchError reports a checkpoint whose manifest identifies a
+// different campaign than the one trying to adopt it. It names both the
+// manifest's recorded fingerprint and the freshly computed one, so the
+// operator can see which side is misconfigured.
+type ConfigMismatchError struct {
+	// Dir is the checkpoint directory that was refused.
+	Dir string
+	// Manifest is the identity recorded when the checkpoint was created.
+	Manifest dataset.Manifest
+	// Seed, Hash and Total describe the campaign that tried to resume it.
+	Seed  uint64
+	Hash  string
+	Total int
+}
+
+func (e *ConfigMismatchError) Error() string {
+	return fmt.Sprintf(
+		"trace: checkpoint %s belongs to a different campaign: manifest records config hash %s (seed %d, %d experiments) but the current flags compute config hash %s (seed %d, %d experiments) — resume with the original campaign flags, or drop -resume to start fresh",
+		e.Dir, e.Manifest.ConfigHash, e.Manifest.Seed, e.Manifest.Total,
+		e.Hash, e.Seed, e.Total)
+}
+
+// VerifyManifest checks that a checkpoint manifest matches the campaign
+// that wants to adopt it — same seed, same Config.Hash fingerprint, same
+// experiment count — and returns a *ConfigMismatchError naming both
+// identities otherwise. Both the serial resume path (CollectDurable) and
+// the distributed coordinator use this before trusting a segment.
+func VerifyManifest(dir string, m dataset.Manifest, cfg Config, total int) error {
+	if m.Seed != cfg.Seed || m.ConfigHash != cfg.Hash() || m.Total != total {
+		return &ConfigMismatchError{
+			Dir: dir, Manifest: m,
+			Seed: cfg.Seed, Hash: cfg.Hash(), Total: total,
+		}
+	}
+	return nil
 }
 
 // CollectDurable runs the campaign with durable checkpointing in
@@ -497,12 +554,10 @@ func (c *Campaign) CollectDurable() (*dataset.Dataset, RunStatus, error) {
 		if err != nil {
 			return nil, RunStatus{}, fmt.Errorf("trace: resume: %w", err)
 		}
-		m := opened.Manifest()
-		if m.Seed != cfg.Seed || m.ConfigHash != cfg.Hash() || m.Total != total {
+		if err := VerifyManifest(cfg.CheckpointDir, opened.Manifest(), cfg, total); err != nil {
 			_ = opened.Close()
-			return nil, RunStatus{}, fmt.Errorf(
-				"trace: checkpoint %s belongs to a different campaign (seed=%d hash=%s total=%d, want seed=%d hash=%s total=%d)",
-				cfg.CheckpointDir, m.Seed, m.ConfigHash, m.Total, cfg.Seed, cfg.Hash(), total)
+			//lint:ignore errwrap ConfigMismatchError is returned typed so callers can errors.As it
+			return nil, RunStatus{}, err
 		}
 		opened.SetEvery(cfg.CheckpointEvery)
 		prior = make(map[int]*dataset.Experiment, priorDS.Len())
