@@ -66,6 +66,12 @@ type Options struct {
 	// CheckpointEvery is the checkpoint fsync cadence in experiments
 	// (0 = the default, 64).
 	CheckpointEvery int
+	// CheckpointFormat selects the checkpoint segment codec: "jsonl"
+	// (the default, and the empty value) or "binary" (curtainbin, the
+	// compact format for large campaigns). Like the other checkpoint
+	// fields it never affects what the campaign produces, only how it
+	// persists, so resumes are codec-agnostic.
+	CheckpointFormat string
 	// Resume continues a checkpointed campaign from CheckpointDir after
 	// verifying its seed and config hash. The resumed dataset is
 	// byte-identical to an uninterrupted run.
@@ -113,6 +119,9 @@ func (o Options) campaignConfig() trace.Config {
 	cfg.Faults = o.Faults
 	cfg.CheckpointDir = o.CheckpointDir
 	cfg.CheckpointEvery = o.CheckpointEvery
+	if f, err := dataset.ParseFormat(o.CheckpointFormat); err == nil {
+		cfg.CheckpointFormat = f
+	}
 	cfg.Resume = o.Resume
 	cfg.Interrupt = o.Interrupt
 	return cfg
@@ -141,6 +150,9 @@ type Study struct {
 // A full-scale five-month study takes a couple of minutes; use Days to
 // shorten it.
 func NewStudy(opts Options) (*Study, error) {
+	if _, err := dataset.ParseFormat(opts.CheckpointFormat); err != nil {
+		return nil, fmt.Errorf("cellcurtain: %w", err)
+	}
 	ctx, err := repro.NewContext(opts.campaignConfig())
 	if err != nil {
 		return nil, fmt.Errorf("cellcurtain: %w", err)
@@ -181,7 +193,7 @@ func (s *Study) ReproduceAll() []Artifact {
 func (s *Study) ExperimentCount() int { return s.ctx.Data.Len() }
 
 // ClientCount returns the measurement population size.
-func (s *Study) ClientCount() int { return len(s.ctx.Campaign.Clients) }
+func (s *Study) ClientCount() int { return s.ctx.Campaign.ClientCount() }
 
 // Carriers lists the profiled carrier names in Table 1 order.
 func (s *Study) Carriers() []string {
@@ -207,6 +219,18 @@ func (s *Study) WriteDataset(w io.Writer) error {
 	return s.ctx.Data.WriteJSONL(w)
 }
 
+// WriteDatasetAs streams the raw campaign dataset in the named codec:
+// "jsonl" (or "", the debug/interchange form) or "binary" (curtainbin,
+// ~an order of magnitude smaller). Both encode the same records in the
+// same order; ReadDataset accepts either.
+func (s *Study) WriteDatasetAs(w io.Writer, format string) error {
+	f, err := dataset.ParseFormat(format)
+	if err != nil {
+		return fmt.Errorf("cellcurtain: %w", err)
+	}
+	return s.ctx.Data.Write(w, f)
+}
+
 // Summary returns per-carrier experiment counts.
 func (s *Study) Summary() map[string]int {
 	out := map[string]int{}
@@ -216,14 +240,18 @@ func (s *Study) Summary() map[string]int {
 	return out
 }
 
-// ReadDataset loads a JSONL dataset previously written by WriteDataset
-// and returns the number of experiments.
+// ReadDataset counts the experiments in a dataset previously written by
+// WriteDataset or WriteDatasetAs; the codec is auto-detected from the
+// stream's leading bytes.
 func ReadDataset(r io.Reader) (int, error) {
-	d, err := dataset.ReadJSONL(r)
-	if err != nil {
+	n := 0
+	if err := dataset.Scan(r, func(e *dataset.Experiment) error {
+		n++
+		return nil
+	}); err != nil {
 		return 0, err
 	}
-	return d.Len(), nil
+	return n, nil
 }
 
 // Report renders all artifacts as one text document.

@@ -12,16 +12,16 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/netip"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"cellcurtain/internal/adns"
 	"cellcurtain/internal/dnsserver"
 	"cellcurtain/internal/dnswire"
+	"cellcurtain/internal/sigdrain"
 )
 
 func main() {
@@ -91,25 +91,19 @@ func main() {
 	}()
 	log.Printf("adnsd: serving zone %q on %s (udp+tcp, %d udp shard(s))", *zone, *listen, *shards)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case s := <-sig:
-		// Graceful stop: close the listeners, let in-flight queries finish
-		// writing their responses, then exit. Serve errors after this point
-		// are the expected use-of-closed-connection, not failures.
-		log.Printf("adnsd: %s — draining", s)
+	// Graceful stop: close the listeners, let in-flight queries finish
+	// writing their responses, then exit. Serve errors after this point
+	// are the expected use-of-closed-connection, not failures.
+	sigdrain.Run("adnsd", errCh, func() error {
 		udpOK := group.Drain(5 * time.Second)
 		tcpOK := tcpSrv.Drain(5 * time.Second)
 		if sf, drops := group.OverloadStats(); sf > 0 || drops > 0 {
 			log.Printf("adnsd: overload: %d queries SERVFAILed, %d packets dropped", sf, drops)
 		}
 		if !udpOK || !tcpOK {
-			log.Printf("adnsd: drain deadline exceeded (udp=%v tcp=%v)", udpOK, tcpOK)
-			os.Exit(1)
+			return fmt.Errorf("drain deadline exceeded (udp=%v tcp=%v)", udpOK, tcpOK)
 		}
 		log.Printf("adnsd: drained cleanly")
-	case err := <-errCh:
-		log.Fatalf("adnsd: %v", err)
-	}
+		return nil
+	})
 }

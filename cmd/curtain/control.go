@@ -5,6 +5,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -69,7 +70,9 @@ func listenNetwork(addr string) string {
 func runCoordinate(args []string) error {
 	fs := flag.NewFlagSet("coordinate", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:9290", "address workers connect to (host:port, or a unix socket path)")
-	out := fs.String("out", "dataset.jsonl", "output JSONL path for the merged dataset")
+	out := fs.String("out", "dataset.jsonl", "output path for the merged dataset")
+	formatName := fs.String("format", "", "merged output and checkpoint segment codec: jsonl or binary (default jsonl)")
+	jsonOut := fs.Bool("json", false, "one-line JSON status report on stdout after the drain (for scripts)")
 	ckDir := fs.String("checkpoint-dir", "", "durable segment directory (required; the exactly-once merge substrate)")
 	ckEvery := fs.Int("checkpoint-every", 0, "checkpoint fsync cadence in experiments (0 = default 64)")
 	resume := fs.Bool("resume", false, "adopt the checkpoint in -checkpoint-dir and lease only the missing experiments")
@@ -79,6 +82,10 @@ func runCoordinate(args []string) error {
 	fs.Parse(args)
 	if *ckDir == "" {
 		return fmt.Errorf("coordinate requires -checkpoint-dir (durable segments are what make worker crashes harmless)")
+	}
+	format, err := dataset.ParseFormat(*formatName)
+	if err != nil {
+		return err
 	}
 
 	cfg := opts().CampaignConfig()
@@ -115,7 +122,8 @@ func runCoordinate(args []string) error {
 		ck = opened
 	} else {
 		created, err := dataset.CreateCheckpoint(*ckDir, dataset.Manifest{
-			Seed: cfg.Seed, ConfigHash: hash, Total: total,
+			Format: format,
+			Seed:   cfg.Seed, ConfigHash: hash, Total: total,
 		}, *ckEvery)
 		if err != nil {
 			return err
@@ -151,6 +159,13 @@ func runCoordinate(args []string) error {
 	}()
 
 	ds, st, err := coord.Wait()
+	if *jsonOut && (err == nil || errors.Is(err, controlplane.ErrInterrupted)) {
+		// The drain report: lease traffic, exactly-once merge dedup counts
+		// and grant-to-merge latency quantiles, one JSON object on stdout.
+		if jerr := writeCoordStatus(os.Stdout, st); jerr != nil {
+			return jerr
+		}
+	}
 	if err != nil {
 		if errors.Is(err, controlplane.ErrInterrupted) {
 			fmt.Fprintf(os.Stderr, "curtain: %v\ncurtain: resume with: curtain coordinate -resume %s\n",
@@ -160,13 +175,46 @@ func runCoordinate(args []string) error {
 		return err
 	}
 	if err := dataset.WriteFileAtomic(*out, func(w io.Writer) error {
-		return ds.WriteJSONL(w)
+		return ds.Write(w, format)
 	}); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
 		"curtain: wrote %d experiments to %s (%d reused, %d workers, %d leases granted, %d reassigned, %d released, %d duplicate seqs dropped, %d rejected)\n",
 		st.Completed, *out, st.Reused, st.WorkersSeen, st.Granted, st.Reassigned, st.Released, st.DupSeqs, st.Rejected)
+	return nil
+}
+
+// writeCoordStatus renders the drained coordinator status as one JSON
+// line, mirroring loadgen's -json contract: machine-readable fields on
+// stdout, human narrative on stderr.
+func writeCoordStatus(w io.Writer, st controlplane.Status) error {
+	report := struct {
+		Total            int     `json:"total"`
+		Completed        int     `json:"completed"`
+		Reused           int     `json:"reused"`
+		Workers          int     `json:"workers"`
+		Rejected         int     `json:"rejected"`
+		LeasesGranted    int     `json:"leases_granted"`
+		LeasesReassigned int     `json:"leases_reassigned"`
+		LeasesReleased   int     `json:"leases_released"`
+		LeasesServed     int     `json:"leases_served"`
+		DupSeqs          int     `json:"dup_seqs"`
+		LeaseP50Secs     float64 `json:"lease_p50_secs"`
+		LeaseP95Secs     float64 `json:"lease_p95_secs"`
+		Interrupted      bool    `json:"interrupted"`
+	}{
+		Total: st.Total, Completed: st.Completed, Reused: st.Reused,
+		Workers: st.WorkersSeen, Rejected: st.Rejected,
+		LeasesGranted: st.Granted, LeasesReassigned: st.Reassigned,
+		LeasesReleased: st.Released, LeasesServed: st.LeasesServed,
+		DupSeqs:      st.DupSeqs,
+		LeaseP50Secs: st.LeaseP50Secs, LeaseP95Secs: st.LeaseP95Secs,
+		Interrupted: st.Interrupted,
+	}
+	if err := json.NewEncoder(w).Encode(report); err != nil {
+		return fmt.Errorf("encode status report: %w", err)
+	}
 	return nil
 }
 

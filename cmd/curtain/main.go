@@ -12,6 +12,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -19,10 +21,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"cellcurtain"
 	"cellcurtain/internal/controlplane"
 	"cellcurtain/internal/dataset"
+	"cellcurtain/internal/sim"
 	"cellcurtain/internal/trace"
 )
 
@@ -42,6 +46,8 @@ func main() {
 		err = runExp(args)
 	case "simulate":
 		err = runSimulate(args)
+	case "convert":
+		err = runConvert(args)
 	case "analyze":
 		err = runAnalyze(args)
 	case "loadgen":
@@ -80,8 +86,12 @@ commands:
   list       print the experiment catalog (table/figure IDs)
   report     run a campaign and regenerate every table and figure
   exp        regenerate one artifact: curtain exp -id F14
-  simulate   run a campaign and write the raw dataset as JSONL
-  analyze    offline analysis of a JSONL dataset (no simulation)
+  simulate   run a campaign and stream the raw dataset to disk
+             (JSONL or compact curtainbin; bounded memory)
+  convert    transcode a dataset between jsonl and binary (auto-detects
+             the input codec; round trips are byte-identical)
+  analyze    offline analysis of a dataset file or checkpoint directory
+             (jsonl or binary, auto-detected; no simulation)
   loadgen    hammer a DNS resolver at a target QPS and report latency
   coordinate lease a campaign's experiments to worker processes and
              merge their results (crash-tolerant, byte-identical to
@@ -100,10 +110,15 @@ flags (loadgen):
   -timeout D          drain window; later responses count as timeouts
   -json               one-line JSON report on stdout (for scripts)
 
+flags (convert):
+  -in PATH            input dataset, jsonl or binary (auto-detected)
+  -out PATH           output path (required)
+  -format F           output codec (default: the opposite of the input)
+
 flags (analyze):
-  -in PATH            JSONL dataset or campaign checkpoint directory
-                      (default dataset.jsonl)
-  -parallel N         concurrent shard scanners over a JSONL file; output
+  -in PATH            dataset file (jsonl or binary, auto-detected) or
+                      campaign checkpoint directory (default dataset.jsonl)
+  -parallel N         concurrent shard scanners over a dataset file; output
                       is byte-identical for any N (default 1)
   -legacy             materialize the dataset and use the slice metric
                       path instead of the streaming engine (same output)
@@ -119,7 +134,12 @@ flags (coordinate):
   -lease N            experiments per leased range (default 64)
   -lease-timeout D    reassign a lease after this long without a
                       heartbeat (default 10s)
-  -out PATH           merged dataset JSONL (default dataset.jsonl)
+  -out PATH           merged dataset path (default dataset.jsonl)
+  -format F           merged output and checkpoint segment codec:
+                      jsonl or binary (default jsonl)
+  -json               one-line JSON status report on stdout after the
+                      drain: lease grants/reassignments, dedup counts,
+                      grant-to-merge latency p50/p95 (for scripts)
   plus the campaign flags: -seed -days -interval-hours -scale -faults
 
 flags (worker):
@@ -146,12 +166,23 @@ flags (report/exp/simulate):
                       and SIGINT/SIGTERM drains in-flight experiments and
                       flushes the checkpoint before exiting
   -checkpoint-every N checkpoint fsync cadence in experiments (default 64)
+  -checkpoint-format F  checkpoint segment codec: jsonl or binary
+                      (default jsonl; resumes auto-detect, and the dataset
+                      is identical either way)
   -resume             continue the campaign checkpointed in -checkpoint-dir
                       (verified against -seed and the other campaign flags);
-                      the result is byte-identical to an uninterrupted run`)
+                      the result is byte-identical to an uninterrupted run
+  -format F           simulate only: output codec, jsonl or binary
+                      (default jsonl; binary is the compact curtainbin
+                      form, DESIGN.md §15)
+  -out PATH           simulate only: output dataset path`)
 }
 
-func studyFlags(fs *flag.FlagSet) func() (*cellcurtain.Study, error) {
+// optionFlags registers the full campaign flag set (dataset-determining
+// and execution flags alike) and returns a closure resolving them into
+// Options, with the interrupt-to-drain signal handler installed when the
+// run is checkpointed.
+func optionFlags(fs *flag.FlagSet) func() (cellcurtain.Options, error) {
 	seed := fs.Uint64("seed", 2014, "RNG seed")
 	days := fs.Int("days", 0, "campaign days (0 = full five months)")
 	interval := fs.Int("interval-hours", 0, "experiment period in hours")
@@ -160,26 +191,41 @@ func studyFlags(fs *flag.FlagSet) func() (*cellcurtain.Study, error) {
 	faults := fs.String("faults", "", "fault scenario (preset name or DSL)")
 	ckDir := fs.String("checkpoint-dir", "", "durable checkpoint directory (empty = no checkpointing)")
 	ckEvery := fs.Int("checkpoint-every", 0, "checkpoint fsync cadence in experiments (0 = default 64)")
+	ckFormat := fs.String("checkpoint-format", "", "checkpoint segment codec: jsonl or binary (default jsonl)")
 	resume := fs.Bool("resume", false, "resume the campaign checkpointed in -checkpoint-dir")
-	return func() (*cellcurtain.Study, error) {
+	return func() (cellcurtain.Options, error) {
 		if *resume && *ckDir == "" {
-			return nil, fmt.Errorf("-resume requires -checkpoint-dir")
+			return cellcurtain.Options{}, fmt.Errorf("-resume requires -checkpoint-dir")
+		}
+		if _, err := dataset.ParseFormat(*ckFormat); err != nil {
+			return cellcurtain.Options{}, err
 		}
 		var interrupt <-chan struct{}
 		if *ckDir != "" {
 			interrupt = notifyInterrupt(*ckDir)
 		}
+		return cellcurtain.Options{
+			Seed: *seed, Days: *days, IntervalHours: *interval, ClientScale: *scale,
+			Workers: *workers, Faults: *faults,
+			CheckpointDir: *ckDir, CheckpointEvery: *ckEvery, CheckpointFormat: *ckFormat,
+			Resume: *resume, Interrupt: interrupt,
+		}, nil
+	}
+}
+
+func studyFlags(fs *flag.FlagSet) func() (*cellcurtain.Study, error) {
+	opts := optionFlags(fs)
+	return func() (*cellcurtain.Study, error) {
+		o, err := opts()
+		if err != nil {
+			return nil, err
+		}
 		verb := "running"
-		if *resume {
+		if o.Resume {
 			verb = "resuming"
 		}
 		fmt.Fprintf(os.Stderr, "curtain: building world and %s campaign...\n", verb)
-		s, err := cellcurtain.NewStudy(cellcurtain.Options{
-			Seed: *seed, Days: *days, IntervalHours: *interval, ClientScale: *scale,
-			Workers: *workers, Faults: *faults,
-			CheckpointDir: *ckDir, CheckpointEvery: *ckEvery, Resume: *resume,
-			Interrupt: interrupt,
-		})
+		s, err := cellcurtain.NewStudy(o)
 		if err != nil {
 			return nil, err
 		}
@@ -258,29 +304,125 @@ func runExp(args []string) error {
 	return nil
 }
 
+// streamCampaign builds the world and campaign for cfg, honoring its
+// worker and checkpoint configuration (unlike the control plane's
+// buildCampaign, which strips execution state). Used by the streaming
+// subcommands that never materialize a dataset.
+func streamCampaign(cfg trace.Config) (*trace.Campaign, error) {
+	w, err := sim.New(sim.Config{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WorldFactory == nil {
+		seed := cfg.Seed
+		cfg.WorldFactory = func() (*sim.World, error) { return sim.New(sim.Config{Seed: seed}) }
+	}
+	return trace.NewCampaign(w, cfg)
+}
+
+// datasetSink returns an append function and a flush function writing
+// experiments to w in codec f, byte-identical to Dataset.Write over the
+// same records — which is what lets the streaming subcommands replace
+// the materialized write path without changing a single output byte.
+func datasetSink(w io.Writer, f dataset.Format) (func(*dataset.Experiment) error, func() error) {
+	if f == dataset.FormatBinary {
+		b := dataset.NewBinaryWriter(w)
+		return b.Append, b.Flush
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	add := func(e *dataset.Experiment) error {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("encode experiment %d: %w", e.Seq, err)
+		}
+		return nil
+	}
+	return add, bw.Flush
+}
+
 func runSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
-	out := fs.String("out", "dataset.jsonl", "output JSONL path")
-	build := studyFlags(fs)
+	out := fs.String("out", "dataset.jsonl", "output dataset path")
+	formatName := fs.String("format", "", "output codec: jsonl or binary (default jsonl)")
+	runStats := fs.Bool("stats", false, "report run time, output bytes/experiment and peak RSS on stderr")
+	opts := optionFlags(fs)
 	fs.Parse(args)
-	s, err := build()
+	f, err := dataset.ParseFormat(*formatName)
 	if err != nil {
-		if errors.Is(err, trace.ErrInterrupted) {
+		return err
+	}
+	o, err := opts()
+	if err != nil {
+		return err
+	}
+	cfg := o.CampaignConfig()
+	verb := "running"
+	if o.Resume {
+		verb = "resuming"
+	}
+	fmt.Fprintf(os.Stderr, "curtain: building world and %s campaign...\n", verb)
+	camp, err := streamCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "curtain: %d experiments from %d clients\n",
+		camp.Total(), camp.ClientCount())
+
+	// Experiments stream straight from the campaign into the encoder as
+	// the canonical prefix completes: memory stays bounded by the workers'
+	// out-of-order window, not the campaign size. Write-to-temp + fsync +
+	// rename means a crash (or an interrupt) mid-write can never leave a
+	// torn dataset at -out.
+	n := 0
+	start := time.Now()
+	werr := dataset.WriteFileAtomic(*out, func(w io.Writer) error {
+		sink, flush := datasetSink(w, f)
+		var sinkErr error
+		record := func(e *dataset.Experiment) {
+			if sinkErr == nil {
+				if err := sink(e); err != nil {
+					sinkErr = err
+					return
+				}
+				n++
+			}
+		}
+		if cfg.CheckpointDir != "" {
+			if _, err := camp.RunDurable(record); err != nil {
+				return err
+			}
+		} else {
+			camp.Run(record)
+		}
+		if sinkErr != nil {
+			return sinkErr
+		}
+		return flush()
+	})
+	if werr != nil {
+		if errors.Is(werr, trace.ErrInterrupted) {
 			// The requested stop is not a failure: report how to continue.
 			fmt.Fprintf(os.Stderr, "curtain: %v\ncurtain: resume with: curtain simulate -resume %s\n",
-				err, flagEcho(fs))
+				werr, flagEcho(fs))
 			return nil
 		}
-		return err
+		return werr
 	}
-	// Write-to-temp + fsync + rename: a crash mid-write can never leave a
-	// torn dataset at -out.
-	if err := dataset.WriteFileAtomic(*out, func(w io.Writer) error {
-		return s.WriteDataset(w)
-	}); err != nil {
-		return err
+	if *runStats && n > 0 {
+		// key=value so scripts/bench.sh can parse the line without
+		// guessing at prose; the timer covers run + encode, which stream
+		// together, and VmHWM is the whole process — world build included.
+		elapsed := time.Since(start)
+		size := int64(0)
+		if info, err := os.Stat(*out); err == nil {
+			size = info.Size()
+		}
+		fmt.Fprintf(os.Stderr,
+			"curtain: simulate stats: clients=%d experiments=%d seconds=%.3f exp_per_sec=%.0f bytes=%d bytes_per_exp=%.1f peak_rss_mb=%.1f\n",
+			camp.ClientCount(), n, elapsed.Seconds(), float64(n)/elapsed.Seconds(),
+			size, float64(size)/float64(n), float64(peakRSSKB())/1024)
 	}
-	fmt.Fprintf(os.Stderr, "curtain: wrote %d experiments to %s\n", s.ExperimentCount(), *out)
+	fmt.Fprintf(os.Stderr, "curtain: wrote %d experiments to %s (%s)\n", n, *out, f)
 	return nil
 }
 

@@ -13,20 +13,19 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/netip"
-	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"cellcurtain/internal/dnsclient"
 	"cellcurtain/internal/dnsserver"
 	"cellcurtain/internal/dnswire"
 	"cellcurtain/internal/forwarder"
+	"cellcurtain/internal/sigdrain"
 	"cellcurtain/internal/upstream"
 )
 
@@ -208,14 +207,10 @@ func main() {
 	log.Printf("fwdns: forwarding %s -> %v (%d shard(s), hedge=%s, serve-stale=%s)",
 		*listen, ups, *shards, *hedge, *serveStale)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case s := <-sig:
-		// Drain in dependency order: stop accepting and answer in-flight
-		// queries, stop the prober, join background cache refreshes, then
-		// join any hedge stragglers in the pool before reporting.
-		log.Printf("fwdns: %s — draining", s)
+	// Drain in dependency order: stop accepting and answer in-flight
+	// queries, stop the prober, join background cache refreshes, then
+	// join any hedge stragglers in the pool before reporting.
+	sigdrain.Run("fwdns", errCh, func() error {
 		ok := group.Drain(5 * time.Second)
 		stopProbes()
 		fwd.Wait()
@@ -236,10 +231,8 @@ func main() {
 			log.Printf("fwdns: overload: %d queries SERVFAILed, %d packets dropped", sf, drops)
 		}
 		if !ok {
-			log.Printf("fwdns: drain deadline exceeded")
-			os.Exit(1)
+			return errors.New("drain deadline exceeded")
 		}
-	case err := <-errCh:
-		log.Fatalf("fwdns: %v", err)
-	}
+		return nil
+	})
 }

@@ -14,12 +14,10 @@ import (
 	"log"
 	"net"
 	"net/http"
-	"os"
-	"os/signal"
 	"sync/atomic"
-	"syscall"
 	"time"
 
+	"cellcurtain/internal/sigdrain"
 	"cellcurtain/internal/sockopt"
 )
 
@@ -82,20 +80,14 @@ func main() {
 	}
 	log.Printf("replicad: %s serving on %s (%d shard(s))", *name, addr, *shards)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case s := <-sig:
+	sigdrain.Run("replicad", errCh, func() error {
 		draining.Store(true) // flip /healthz to 503 before closing listeners
-		log.Printf("replicad: %s — draining", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("replicad: drain deadline exceeded: %v", err)
-			os.Exit(1)
+			return fmt.Errorf("drain deadline exceeded: %w", err)
 		}
 		log.Printf("replicad: drained cleanly")
-	case err := <-errCh:
-		log.Fatalf("replicad: %v", err)
-	}
+		return nil
+	})
 }

@@ -67,6 +67,7 @@ type Client struct {
 
 	net          *Network
 	rankedEgress []int
+	egressDist   []float64
 	frontend     int
 }
 
@@ -351,33 +352,33 @@ func hash64(s string) uint64 {
 	return h
 }
 
-// NewClient subscribes a measurement device. home should be inside the
-// carrier's country.
-func (n *Network) NewClient(id string, home geo.Point) *Client {
-	addr := n.clientPool.Next()
-	c := &Client{
-		ID:   id,
-		Key:  hash64(id) ^ hash64(n.Name),
-		Home: home,
-		Addr: addr,
-		Loc:  home,
-		Tech: radio.LTE,
-		net:  n,
-	}
-	// Rank egresses by distance from home once.
-	type ed struct {
-		idx int
-		d   float64
-	}
-	eds := make([]ed, len(n.Egresses))
+// fillClient populates c as device id homed at home with internal
+// address addr, recomputing every derived field in place. The ranked
+// slices are reused when capacity allows, so a pooled Client can be
+// re-filled once per experiment without growing the heap.
+func (n *Network) fillClient(c *Client, id string, home geo.Point, addr netip.Addr) {
+	c.ID = id
+	c.Key = hash64(id) ^ hash64(n.Name)
+	c.Home = home
+	c.Addr = addr
+	c.Loc = home
+	c.Tech = radio.LTE
+	c.net = n
+	// Rank egresses by distance from home (insertion sort: egress counts
+	// are single digits and the scratch slices are reused).
+	ranked, dist := c.rankedEgress[:0], c.egressDist[:0]
 	for i, eg := range n.Egresses {
-		eds[i] = ed{i, geo.DistanceKm(home, eg.City.Loc)}
+		d := geo.DistanceKm(home, eg.City.Loc)
+		ranked = append(ranked, i)
+		dist = append(dist, d)
+		j := len(ranked) - 1
+		for j > 0 && dist[j-1] > d {
+			ranked[j], dist[j] = ranked[j-1], dist[j-1]
+			j--
+		}
+		ranked[j], dist[j] = i, d
 	}
-	sort.Slice(eds, func(a, b int) bool { return eds[a].d < eds[b].d })
-	c.rankedEgress = make([]int, len(eds))
-	for i, e := range eds {
-		c.rankedEgress[i] = e.idx
-	}
+	c.rankedEgress, c.egressDist = ranked, dist
 	if n.Style == StyleTiered {
 		// Tiered carriers provision the regional resolver: the frontend
 		// nearest the subscriber's home (and through the fixed pairing,
@@ -392,10 +393,35 @@ func (n *Network) NewClient(id string, home geo.Point) *Client {
 	} else {
 		c.frontend = int(c.Key % uint64(len(n.ClientFacing)))
 	}
-	n.clientsByAddr[addr] = c
+}
+
+// NewClient subscribes a measurement device permanently: it joins the
+// population returned by Clients and stays routable for the network's
+// lifetime. home should be inside the carrier's country.
+func (n *Network) NewClient(id string, home geo.Point) *Client {
+	c := &Client{}
+	n.fillClient(c, id, home, n.clientPool.Next())
+	n.clientsByAddr[c.Addr] = c
 	n.clients = append(n.clients, c)
 	return c
 }
+
+// FillClientAt materializes the carrier's idx-th positional device into
+// dst without registering it. The campaign driver leases device state
+// per experiment instead of materializing the whole population, so
+// memory stays O(workers) at million-client scale; positional indexing
+// reuses the client pool the way carriers recycle ephemeral addresses.
+func (n *Network) FillClientAt(dst *Client, id string, home geo.Point, idx int) {
+	n.fillClient(dst, id, home, n.clientPool.At(idx%n.clientPool.Size()))
+}
+
+// Subscribe attaches a materialized device to the carrier's routing and
+// resolver lookup for the duration of an experiment. Unlike NewClient it
+// does not join the permanent population.
+func (n *Network) Subscribe(c *Client) { n.clientsByAddr[c.Addr] = c }
+
+// Unsubscribe detaches a device attached with Subscribe.
+func (n *Network) Unsubscribe(c *Client) { delete(n.clientsByAddr, c.Addr) }
 
 // Clients returns the carrier's subscribed measurement devices.
 func (n *Network) Clients() []*Client { return n.clients }

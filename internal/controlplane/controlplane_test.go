@@ -142,11 +142,15 @@ func (r *rawClient) lease() *Message {
 }
 
 func segmentFor(m *Message) *Message {
-	seg := &Message{Type: MsgSegment, Lease: m.Lease}
+	var exps []*dataset.Experiment
 	for seq := m.From; seq <= m.To; seq++ {
-		seg.Experiments = append(seg.Experiments, testExp(seq))
+		exps = append(exps, testExp(seq))
 	}
-	return seg
+	records, err := dataset.MarshalExperiments(exps)
+	if err != nil {
+		panic(err)
+	}
+	return &Message{Type: MsgSegment, Lease: m.Lease, Records: records}
 }
 
 func jsonl(t *testing.T, ds *dataset.Dataset) []byte {

@@ -111,6 +111,11 @@ type Status struct {
 	// DupSeqs counts experiments dropped by the exactly-once merge —
 	// results for sequence numbers that were already durable.
 	DupSeqs int
+	// LeasesServed counts ranges merged end to end; LeaseP50Secs and
+	// LeaseP95Secs are the grant-to-merge latency quantiles in seconds.
+	LeasesServed int
+	LeaseP50Secs float64
+	LeaseP95Secs float64
 	// Interrupted reports the run stopped on Interrupt before completing.
 	Interrupted bool
 }
@@ -414,10 +419,15 @@ func (c *Coordinator) beat(sess *session, m *Message) {
 // appended to the checkpoint. This is where at-least-once execution
 // becomes an exactly-once dataset.
 func (c *Coordinator) ingest(sess *session, m *Message) *Message {
+	exps, decodeErr := dataset.UnmarshalExperiments(m.Records)
 	c.mu.Lock()
 	dups := 0
-	var appendErr error
-	for _, e := range m.Experiments {
+	appendErr := decodeErr
+	if decodeErr != nil {
+		appendErr = fmt.Errorf("controlplane: worker %s segment: %w", sess.worker, decodeErr)
+		exps = nil
+	}
+	for _, e := range exps {
 		if e == nil || e.Seq < 1 || e.Seq > c.cfg.Total {
 			appendErr = fmt.Errorf("controlplane: worker %s returned experiment seq outside 1..%d", sess.worker, c.cfg.Total)
 			break
@@ -557,8 +567,11 @@ func (c *Coordinator) Wait() (*dataset.Dataset, Status, error) {
 	st.Interrupted = interrupted
 	err := c.fatalErr
 	if c.leaseSecs.Len() > 0 {
+		st.LeasesServed = c.leaseSecs.Len()
+		st.LeaseP50Secs = c.leaseSecs.Percentile(50)
+		st.LeaseP95Secs = c.leaseSecs.Percentile(95)
 		c.logf("controlplane: %d lease(s) served, p50 %.2fs p95 %.2fs per range",
-			c.leaseSecs.Len(), c.leaseSecs.Percentile(50), c.leaseSecs.Percentile(95))
+			st.LeasesServed, st.LeaseP50Secs, st.LeaseP95Secs)
 	}
 	c.mu.Unlock()
 	if err != nil {

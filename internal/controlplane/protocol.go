@@ -33,13 +33,14 @@ import (
 	"net"
 	"time"
 
-	"cellcurtain/internal/dataset"
 	"cellcurtain/internal/trace"
 )
 
 // ProtoVersion is bumped on incompatible protocol changes; the hello
 // handshake rejects mismatched peers before any work is leased.
-const ProtoVersion = 1
+// Version 2 replaced the segment's per-experiment JSON array with a
+// curtainbin records payload.
+const ProtoVersion = 2
 
 // maxMessage bounds one frame. The largest legitimate message is a
 // segment of LeaseSize experiments (a few KB each); 64 MB leaves two
@@ -92,8 +93,11 @@ type Message struct {
 	// Dups is how many of a segment's experiments were already durable —
 	// the visible face of the exactly-once merge (ack only).
 	Dups int `json:"dups,omitempty"`
-	// Experiments carries a completed range's results (segment only).
-	Experiments []*dataset.Experiment `json:"experiments,omitempty"`
+	// Records carries a completed range's results as one curtainbin
+	// payload (segment only): delta/varint-encoded, string-interned and
+	// compressed, so a segment frame costs a fraction of the equivalent
+	// JSON array. JSON framing base64s it on the wire.
+	Records []byte `json:"records,omitempty"`
 }
 
 // WireConfig is the serializable subset of trace.Config the coordinator

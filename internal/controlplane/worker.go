@@ -248,7 +248,11 @@ func (w *worker) runRange(run RunRange, m *Message) error {
 	if err := run(m.From, m.To, emit); err != nil {
 		return fmt.Errorf("controlplane: range %d-%d: %w", m.From, m.To, err)
 	}
-	seg := &Message{Type: MsgSegment, Lease: m.Lease, Experiments: buf}
+	records, err := dataset.MarshalExperiments(buf)
+	if err != nil {
+		return fmt.Errorf("controlplane: range %d-%d: encode segment: %w", m.From, m.To, err)
+	}
+	seg := &Message{Type: MsgSegment, Lease: m.Lease, Records: records}
 	if err := writeMsg(w.conn, w.cfg.ioTimeout(), seg); err != nil {
 		//lint:ignore errwrap writeMsg errors already say which frame failed and why
 		return err

@@ -22,8 +22,8 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 	tmpName := tmp.Name()
 	defer func() {
 		if err != nil {
-			_ = tmp.Close()          // double close on the error path is harmless
-			_ = os.Remove(tmpName)   // best effort: do not mask the write error
+			_ = tmp.Close()        // double close on the error path is harmless
+			_ = os.Remove(tmpName) // best effort: do not mask the write error
 		}
 	}()
 	bw := bufio.NewWriter(tmp)

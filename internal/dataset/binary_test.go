@@ -1,0 +1,480 @@
+package dataset
+
+import (
+	"bytes"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// sampleDataset builds a dataset exercising every record field shape:
+// empty slices, invalid addresses, failed experiments, repeated strings.
+func sampleDataset(n int) *Dataset {
+	d := &Dataset{}
+	carriers := []string{"att", "verizon", "sprint", "tmobile"}
+	for i := 0; i < n; i++ {
+		e := sampleExperiment(i+1, carriers[i%len(carriers)])
+		switch i % 5 {
+		case 1:
+			e.Resolutions[0].Outcome = "timeout"
+			e.Resolutions[0].Attempts = 3
+			e.Resolutions[0].FailedOver = true
+			e.Resolutions[0].Cost = 1500 * time.Millisecond
+		case 2:
+			e.Failed = true
+			e.FailReason = "measure: synthetic panic"
+			e.Time = time.Time{} // outside the UnixNano range
+			e.Resolutions = nil
+			e.Discoveries = nil
+			e.ResolverProbes = nil
+			e.ReplicaProbes = nil
+			e.EgressTrace = nil
+		case 3:
+			e.TraceFailed = true
+			e.EgressTrace = nil
+			e.Resolutions[0].Answers = nil
+			e.Resolutions[0].Server = netip.Addr{}
+		case 4:
+			e.NATAddr = netip.MustParseAddr("2001:db8::7")
+		}
+		d.Add(e)
+	}
+	return d
+}
+
+// TestBinaryRoundTripByteIdentity is the codec's core guarantee: JSONL →
+// binary → JSONL reproduces the original bytes exactly.
+func TestBinaryRoundTripByteIdentity(t *testing.T) {
+	d := sampleDataset(700) // > DefaultSegmentRecords, so multiple segments
+	var jsonl1 bytes.Buffer
+	if err := d.WriteJSONL(&jsonl1); err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := d.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= jsonl1.Len() {
+		t.Fatalf("binary (%d bytes) not smaller than JSONL (%d bytes)", bin.Len(), jsonl1.Len())
+	}
+	back := &Dataset{}
+	if err := Scan(bytes.NewReader(bin.Bytes()), func(e *Experiment) error {
+		back.Add(e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var jsonl2 bytes.Buffer
+	if err := back.WriteJSONL(&jsonl2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonl1.Bytes(), jsonl2.Bytes()) {
+		a, b := jsonl1.Bytes(), jsonl2.Bytes()
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo, hi := i-40, i+40
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(a) {
+			hi = len(a)
+		}
+		t.Fatalf("round trip diverges at byte %d:\n got %q\nwant %q", i, b[lo:min(hi, len(b))], a[lo:hi])
+	}
+}
+
+func TestBinaryCompressionRatio(t *testing.T) {
+	d := sampleDataset(512)
+	var jsonl, bin bytes.Buffer
+	if err := d.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(jsonl.Len()) / float64(bin.Len()); ratio < 5 {
+		t.Fatalf("binary only %.1fx smaller than JSONL (%d vs %d bytes), want >= 5x",
+			ratio, bin.Len(), jsonl.Len())
+	}
+}
+
+func TestBinaryUncompressedRoundTrip(t *testing.T) {
+	d := sampleDataset(10)
+	var bin bytes.Buffer
+	bw := NewBinaryWriter(&bin)
+	bw.Compress = false
+	for _, e := range d.Experiments {
+		if err := bw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(bytes.NewReader(bin.Bytes())) // auto-detects
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("read %d experiments, want %d", back.Len(), d.Len())
+	}
+}
+
+func TestBinaryTornTail(t *testing.T) {
+	d := sampleDataset(64)
+	var bin bytes.Buffer
+	bw := NewBinaryWriter(&bin)
+	bw.SegmentRecords = 16 // several segments
+	for _, e := range d.Experiments {
+		if err := bw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := bin.Bytes()
+	for _, cut := range []int{1, 7, len(full) / 3, len(full) - 1} {
+		torn := full[:len(full)-cut]
+		if err := Scan(bytes.NewReader(torn), func(*Experiment) error { return nil }); err == nil {
+			t.Fatalf("strict Scan accepted a tail torn by %d bytes", cut)
+		}
+		var got int
+		discarded, err := ScanTorn(bytes.NewReader(torn), func(e *Experiment) error {
+			got++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if got%16 != 0 || got >= 64 {
+			t.Fatalf("cut %d: recovered %d records, want a proper multiple of the segment size", cut, got)
+		}
+		// The discarded tail plus the durable prefix must account for the
+		// whole torn file — that is what checkpoint truncation relies on.
+		if rest := len(torn) - discarded; rest < 0 || discarded == 0 {
+			t.Fatalf("cut %d: discarded %d of %d bytes", cut, discarded, len(torn))
+		}
+		clean := torn[:len(torn)-discarded]
+		n := 0
+		if err := Scan(bytes.NewReader(clean), func(*Experiment) error { n++; return nil }); err != nil && len(clean) > len(binMagic) {
+			t.Fatalf("cut %d: durable prefix does not rescan: %v", cut, err)
+		}
+	}
+}
+
+func TestBinaryCorruptionIsNotTorn(t *testing.T) {
+	d := sampleDataset(8)
+	var bin bytes.Buffer
+	if err := d.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	b := bytes.Clone(bin.Bytes())
+	b[len(binMagic)+2] ^= 0xFF // corrupt the segment header in place
+	if _, err := ScanTorn(bytes.NewReader(b), func(*Experiment) error { return nil }); err == nil {
+		t.Fatal("mid-file corruption must stay an error even in torn mode")
+	}
+}
+
+func TestMarshalUnmarshalExperiments(t *testing.T) {
+	d := sampleDataset(33)
+	b, err := MarshalExperiments(d.Experiments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := UnmarshalExperiments(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != d.Len() {
+		t.Fatalf("unmarshal returned %d, want %d", len(es), d.Len())
+	}
+	var a, bb bytes.Buffer
+	if err := d.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Dataset{Experiments: es}).WriteJSONL(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), bb.Bytes()) {
+		t.Fatal("marshal round trip is not byte-identical")
+	}
+}
+
+func TestBinaryFileShardsEquivalence(t *testing.T) {
+	d := sampleDataset(300)
+	var bin bytes.Buffer
+	bw := NewBinaryWriter(&bin)
+	bw.SegmentRecords = 32
+	for _, e := range d.Experiments {
+		if err := bw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.bin")
+	if err := os.WriteFile(path, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 4, 8, 100} {
+		shards, err := FileShards(path, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shards) > n {
+			t.Fatalf("n=%d: got %d shards", n, len(shards))
+		}
+		var seqs []int
+		for i, sh := range shards {
+			if i > 0 && sh.Start != shards[i-1].End {
+				t.Fatalf("n=%d: shard %d not contiguous", n, i)
+			}
+			if err := ScanShard(sh, func(e *Experiment) error {
+				seqs = append(seqs, e.Seq)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(seqs) != d.Len() {
+			t.Fatalf("n=%d: shards yielded %d records, want %d", n, len(seqs), d.Len())
+		}
+		for i, s := range seqs {
+			if s != i+1 {
+				t.Fatalf("n=%d: order broken at %d: seq %d", n, i, s)
+			}
+		}
+	}
+}
+
+func TestBinaryScanFileParallel(t *testing.T) {
+	d := sampleDataset(200)
+	var bin bytes.Buffer
+	bw := NewBinaryWriter(&bin)
+	bw.SegmentRecords = 16
+	for _, e := range d.Experiments {
+		if err := bw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.bin")
+	if err := os.WriteFile(path, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []int
+	if err := ScanFileParallel(path, 4, func(e *Experiment) error {
+		seqs = append(seqs, e.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seqs {
+		if s != i+1 {
+			t.Fatalf("parallel scan order broken at %d: seq %d", i, s)
+		}
+	}
+	if len(seqs) != d.Len() {
+		t.Fatalf("parallel scan yielded %d, want %d", len(seqs), d.Len())
+	}
+}
+
+func TestBinaryCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := Manifest{Format: FormatBinary, Seed: 7, ConfigHash: "abc", Total: 50}
+	ck, err := CreateCheckpoint(dir, m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sampleDataset(50)
+	for _, e := range d.Experiments[:30] {
+		if err := ck.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ck.Manifest().Completed; got != 30 {
+		t.Fatalf("completed = %d, want 30", got)
+	}
+
+	// Resume: reopen, verify the prior records, append the rest.
+	re, prior, discarded, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if discarded != 0 || prior.Len() != 30 {
+		t.Fatalf("reopen: %d prior, %d discarded", prior.Len(), discarded)
+	}
+	for _, e := range d.Experiments[30:] {
+		if err := re.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got int
+	tornBytes, err := ScanCheckpoint(dir, func(e *Experiment) error {
+		got++
+		if e.Seq != got {
+			t.Fatalf("checkpoint scan out of order: seq %d at position %d", e.Seq, got)
+		}
+		return nil
+	})
+	if err != nil || tornBytes != 0 {
+		t.Fatalf("scan checkpoint: %v (%d torn)", err, tornBytes)
+	}
+	if got != 50 {
+		t.Fatalf("checkpoint holds %d records, want 50", got)
+	}
+}
+
+func TestBinaryCheckpointTornResume(t *testing.T) {
+	dir := t.TempDir()
+	ck, err := CreateCheckpoint(dir, Manifest{Format: FormatBinary, Seed: 7, ConfigHash: "h", Total: 40}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sampleDataset(40)
+	for _, e := range d.Experiments {
+		if err := ck.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "experiments.bin")
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, b[:len(b)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, prior, discarded, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if discarded == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	if prior.Len()%10 != 0 || prior.Len() >= 40 {
+		t.Fatalf("prior = %d records after tear, want durable multiple of sync cadence", prior.Len())
+	}
+	// Re-append the lost suffix; the file must scan clean afterwards.
+	for _, e := range d.Experiments[prior.Len():] {
+		if err := re.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if _, err := ScanCheckpoint(dir, func(*Experiment) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("resumed checkpoint holds %d records, want 40", n)
+	}
+}
+
+// TestHotPathAllocs proves the per-record encode and decode primitives
+// allocate nothing once buffers and the string table are warm.
+func TestHotPathAllocs(t *testing.T) {
+	e := sampleExperiment(12345, "verizon")
+	enc := newBinEncoder()
+	enc.appendExperiment(e) // warm the string table and buffers
+	encAllocs := testing.AllocsPerRun(200, func() {
+		enc.buf = enc.buf[:0]
+		enc.prevSeq = 0
+		enc.prevTime = 0
+		enc.count = 0
+		enc.appendExperiment(e)
+	})
+	if encAllocs != 0 {
+		t.Fatalf("encode hot path allocates %.1f per record, want 0", encAllocs)
+	}
+
+	// Build one decodable record body with its table.
+	tbl := make([]string, len(enc.tbl.strs))
+	copy(tbl, enc.tbl.strs)
+	rec := bytes.Clone(enc.buf)
+	dst := new(Experiment)
+	d := &binDecoder{buf: rec, tbl: tbl}
+	if !d.decodeExperiment(dst) {
+		t.Fatal("warmup decode failed")
+	}
+	decAllocs := testing.AllocsPerRun(200, func() {
+		d.buf = rec
+		d.pos = 0
+		d.prevSeq = 0
+		d.prevTime = 0
+		d.bad = false
+		if !d.decodeExperiment(dst) {
+			t.Fatal("decode failed")
+		}
+	})
+	if decAllocs != 0 {
+		t.Fatalf("decode hot path allocates %.1f per record, want 0", decAllocs)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Format
+		ok   bool
+	}{
+		{"", FormatJSONL, true},
+		{"jsonl", FormatJSONL, true},
+		{"binary", FormatBinary, true},
+		{"proto", "", false},
+	} {
+		got, err := ParseFormat(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Fatalf("ParseFormat(%q) = %q, %v", tc.in, got, err)
+		}
+	}
+}
+
+func TestFileFormat(t *testing.T) {
+	dir := t.TempDir()
+	jp := filepath.Join(dir, "a.jsonl")
+	if err := os.WriteFile(jp, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bp := filepath.Join(dir, "a.bin")
+	var bin bytes.Buffer
+	if err := sampleDataset(1).WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bp, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ep := filepath.Join(dir, "empty")
+	if err := os.WriteFile(ep, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		path string
+		want Format
+	}{{jp, FormatJSONL}, {bp, FormatBinary}, {ep, FormatJSONL}} {
+		got, err := FileFormat(tc.path)
+		if err != nil || got != tc.want {
+			t.Fatalf("FileFormat(%s) = %q, %v; want %q", tc.path, got, err, tc.want)
+		}
+	}
+}

@@ -10,16 +10,19 @@ import (
 	"sync"
 )
 
-// Checkpoint file layout: dir/experiments.jsonl is an append-only segment
-// of completed experiments (one JSON object per line, fsync'd every
-// Every appends), and dir/manifest.json identifies the campaign the
-// segment belongs to. The manifest is always written via temp file +
-// rename, so it is either the old or the new version — never torn. The
-// segment may end in a torn line after a hard kill; resume drops the
-// tail and re-runs that experiment.
+// Checkpoint file layout: dir/experiments.jsonl (JSONL) or
+// dir/experiments.bin (curtainbin) is an append-only segment of
+// completed experiments (fsync'd every Every appends), and
+// dir/manifest.json identifies the campaign the segment belongs to —
+// including which codec the segment uses. The manifest is always written
+// via temp file + rename, so it is either the old or the new version —
+// never torn. The segment may end in a torn tail (a partial JSONL line
+// or an incomplete curtainbin segment) after a hard kill; resume drops
+// the tail and re-runs those experiments.
 const (
-	segmentFile  = "experiments.jsonl"
-	manifestFile = "manifest.json"
+	segmentFile    = "experiments.jsonl"
+	segmentFileBin = "experiments.bin"
+	manifestFile   = "manifest.json"
 
 	// ManifestVersion is bumped on incompatible layout changes.
 	ManifestVersion = 1
@@ -28,12 +31,33 @@ const (
 	DefaultCheckpointEvery = 64
 )
 
+// checkpointSegmentPath locates a checkpoint's segment file: the binary
+// segment when present, the JSONL segment otherwise.
+func checkpointSegmentPath(dir string) string {
+	bin := filepath.Join(dir, segmentFileBin)
+	if _, err := os.Stat(bin); err == nil {
+		return bin
+	}
+	return filepath.Join(dir, segmentFile)
+}
+
+// segmentFileFor maps a manifest format to its segment file name.
+func segmentFileFor(f Format) string {
+	if f == FormatBinary {
+		return segmentFileBin
+	}
+	return segmentFile
+}
+
 // Manifest identifies the campaign a checkpoint belongs to. A resume
 // must verify Seed and ConfigHash before trusting the segment: replaying
 // a checkpoint into a differently-configured campaign would silently mix
 // two datasets.
 type Manifest struct {
 	Version int `json:"version"`
+	// Format is the segment codec ("" or "jsonl" for JSONL,
+	// "binary" for curtainbin).
+	Format Format `json:"format,omitempty"`
 	// Seed is the campaign RNG seed.
 	Seed uint64 `json:"seed"`
 	// ConfigHash fingerprints every dataset-determining config field
@@ -55,14 +79,16 @@ type Checkpoint struct {
 	mu       sync.Mutex
 	f        *os.File
 	bw       *bufio.Writer
-	enc      *json.Encoder
+	enc      *json.Encoder // JSONL segments
+	bin      *BinaryWriter // curtainbin segments
 	pending  int
 	manifest Manifest
 }
 
 // CreateCheckpoint initializes a fresh checkpoint directory, truncating
-// any previous segment, and durably records the manifest before any
-// experiment is appended.
+// any previous segment (of either codec), and durably records the
+// manifest before any experiment is appended. m.Format selects the
+// segment codec.
 func CreateCheckpoint(dir string, m Manifest, every int) (*Checkpoint, error) {
 	if every <= 0 {
 		every = DefaultCheckpointEvery
@@ -70,13 +96,20 @@ func CreateCheckpoint(dir string, m Manifest, every int) (*Checkpoint, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("dataset: checkpoint %s: %w", dir, err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, segmentFile), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	// Drop the other codec's segment so a format switch cannot leave a
+	// stale segment that a later resume would prefer.
+	for _, name := range []string{segmentFile, segmentFileBin} {
+		if name != segmentFileFor(m.Format) {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segmentFileFor(m.Format)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: checkpoint %s: %w", dir, err)
 	}
 	m.Version = ManifestVersion
 	m.Completed = 0
-	ck := newCheckpoint(dir, every, f, m)
+	ck := newCheckpoint(dir, every, f, m, true)
 	if err := ck.writeManifestLocked(); err != nil {
 		_ = f.Close() // the manifest write error is the one to report
 		return nil, fmt.Errorf("dataset: checkpoint %s: manifest: %w", dir, err)
@@ -104,7 +137,7 @@ func OpenCheckpoint(dir string) (*Checkpoint, *Dataset, int, error) {
 		return nil, nil, 0, fmt.Errorf("dataset: checkpoint %s: manifest version %d, want %d", dir, m.Version, ManifestVersion)
 	}
 
-	seg := filepath.Join(dir, segmentFile)
+	seg := filepath.Join(dir, segmentFileFor(m.Format))
 	sf, err := os.Open(seg)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("dataset: checkpoint %s: %w", dir, err)
@@ -117,14 +150,17 @@ func OpenCheckpoint(dir string) (*Checkpoint, *Dataset, int, error) {
 	if cerr != nil {
 		return nil, nil, 0, fmt.Errorf("dataset: checkpoint %s: segment: %w", dir, cerr)
 	}
+	size := int64(0)
+	if info, err := os.Stat(seg); err != nil {
+		return nil, nil, 0, fmt.Errorf("dataset: checkpoint %s: %w", dir, err)
+	} else {
+		size = info.Size()
+	}
 	if discarded > 0 {
 		// Cut the segment back to its durable prefix so the next append
-		// starts on a clean line boundary.
-		info, err := os.Stat(seg)
-		if err != nil {
-			return nil, nil, 0, fmt.Errorf("dataset: checkpoint %s: %w", dir, err)
-		}
-		if err := os.Truncate(seg, info.Size()-int64(discarded)); err != nil {
+		// starts on a clean record boundary.
+		size -= int64(discarded)
+		if err := os.Truncate(seg, size); err != nil {
 			return nil, nil, 0, fmt.Errorf("dataset: checkpoint %s: truncate torn tail: %w", dir, err)
 		}
 	}
@@ -137,12 +173,25 @@ func OpenCheckpoint(dir string) (*Checkpoint, *Dataset, int, error) {
 	// completed: appends past the watermark are durable once their bytes
 	// hit disk, even if the process died before the manifest advanced.
 	m.Completed = prior.Len()
-	return newCheckpoint(dir, DefaultCheckpointEvery, f, m), prior, discarded, nil
+	// A binary segment that never made it to disk (killed before the
+	// first sync, or torn inside the magic) restarts from an empty file
+	// and needs its header rewritten.
+	return newCheckpoint(dir, DefaultCheckpointEvery, f, m, size == 0), prior, discarded, nil
 }
 
-func newCheckpoint(dir string, every int, f *os.File, m Manifest) *Checkpoint {
+func newCheckpoint(dir string, every int, f *os.File, m Manifest, fresh bool) *Checkpoint {
 	bw := bufio.NewWriter(f)
-	return &Checkpoint{dir: dir, every: every, f: f, bw: bw, enc: json.NewEncoder(bw), manifest: m}
+	ck := &Checkpoint{dir: dir, every: every, f: f, bw: bw, manifest: m}
+	if m.Format == FormatBinary {
+		if fresh {
+			ck.bin = NewBinaryWriter(bw)
+		} else {
+			ck.bin = NewBinaryAppender(bw)
+		}
+	} else {
+		ck.enc = json.NewEncoder(bw)
+	}
+	return ck
 }
 
 // SetEvery overrides the fsync cadence (appends between syncs).
@@ -170,7 +219,11 @@ func (c *Checkpoint) Dir() string { return c.dir }
 func (c *Checkpoint) Append(e *Experiment) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.enc.Encode(e); err != nil {
+	if c.bin != nil {
+		if err := c.bin.Append(e); err != nil {
+			return fmt.Errorf("dataset: checkpoint append experiment %d: %w", e.Seq, err)
+		}
+	} else if err := c.enc.Encode(e); err != nil {
 		return fmt.Errorf("dataset: checkpoint append experiment %d: %w", e.Seq, err)
 	}
 	c.manifest.Completed++
@@ -206,6 +259,13 @@ func (c *Checkpoint) Close() error {
 }
 
 func (c *Checkpoint) syncLocked() error {
+	if c.bin != nil {
+		// Cut the open curtainbin segment so every appended record is in
+		// the bufio stream (a record is durable only once its segment is).
+		if err := c.bin.Flush(); err != nil {
+			return fmt.Errorf("dataset: checkpoint %s: flush segment: %w", c.dir, err)
+		}
+	}
 	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("dataset: checkpoint %s: flush segment: %w", c.dir, err)
 	}

@@ -39,10 +39,10 @@ type Resolution struct {
 	// OK2 reports that the second lookup itself succeeded; without it a
 	// failed repeat (RTT2 == 0) is indistinguishable from a very fast
 	// cached answer.
-	OK2     bool          `json:"ok2,omitempty"`
-	Answers []netip.Addr  `json:"answers,omitempty"`
-	CNAME   string        `json:"cname,omitempty"`
-	TTL     uint32        `json:"ttl,omitempty"`
+	OK2     bool         `json:"ok2,omitempty"`
+	Answers []netip.Addr `json:"answers,omitempty"`
+	CNAME   string       `json:"cname,omitempty"`
+	TTL     uint32       `json:"ttl,omitempty"`
 	// Radio is the technology active during the lookup (Fig 3).
 	Radio string `json:"radio"`
 	// Outcome classifies how the first lookup ended ("ok", "nxdomain",
@@ -213,7 +213,7 @@ func ReadJSONLTorn(r io.Reader) (*Dataset, int, error) {
 
 func readJSONL(r io.Reader, tolerateTorn bool) (*Dataset, int, error) {
 	d := &Dataset{}
-	discarded, err := scanJSONL(r, tolerateTorn, func(e *Experiment) error {
+	discarded, err := scanAny(r, tolerateTorn, func(e *Experiment) error {
 		d.Add(e)
 		return nil
 	})

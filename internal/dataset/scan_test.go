@@ -299,3 +299,102 @@ func TestShardsNoTrailingNewline(t *testing.T) {
 		}
 	}
 }
+
+// writeSampleFileBinary mirrors writeSampleFile for the curtainbin codec,
+// with a small segment size so even modest datasets span segments.
+func writeSampleFileBinary(t *testing.T, n int) (string, *Dataset) {
+	t.Helper()
+	d := &Dataset{}
+	carriers := []string{"att", "verizon", "sprint"}
+	for i := 0; i < n; i++ {
+		d.Add(sampleExperiment(i+1, carriers[i%len(carriers)]))
+	}
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	bw.SegmentRecords = 8
+	for _, e := range d.Experiments {
+		if err := bw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.bin")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, d
+}
+
+// TestFileShardsEdgeCases sweeps the shard-boundary corners — empty file,
+// single record, shard count far above record count — for both codecs.
+func TestFileShardsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		records int
+		write   func(t *testing.T, n int) (string, *Dataset)
+	}{
+		{"jsonl-single", 1, writeSampleFile},
+		{"jsonl-few", 3, writeSampleFile},
+		{"binary-single", 1, writeSampleFileBinary},
+		{"binary-few", 3, writeSampleFileBinary},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path, d := tc.write(t, tc.records)
+			for _, n := range []int{1, 2, tc.records, tc.records + 1, 64} {
+				shards, err := FileShards(path, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(shards) == 0 || len(shards) > n {
+					t.Fatalf("n=%d: got %d shards", n, len(shards))
+				}
+				var seqs []int
+				for _, sh := range shards {
+					if err := ScanShard(sh, func(e *Experiment) error {
+						seqs = append(seqs, e.Seq)
+						return nil
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if len(seqs) != d.Len() {
+					t.Fatalf("n=%d: shards yielded %d records, want %d", n, len(seqs), d.Len())
+				}
+				for i, s := range seqs {
+					if s != i+1 {
+						t.Fatalf("n=%d: order broken at %d: seq %d", n, i, s)
+					}
+				}
+			}
+		})
+	}
+}
+
+// A curtainbin file holding only the magic (zero records, zero segments)
+// must shard and scan as empty, not error.
+func TestFileShardsBinaryHeaderOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewBinaryWriter(&buf).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "hdr.bin")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	shards, err := FileShards(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, sh := range shards {
+		if err := ScanShard(sh, func(*Experiment) error { count++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != 0 {
+		t.Fatalf("header-only file yielded %d experiments", count)
+	}
+}

@@ -37,15 +37,15 @@ func (c *Context) ECS() Result {
 	m := map[string]float64{}
 	base := time.Date(2014, 9, 1, 0, 0, 0, 0, time.UTC) // after the campaign
 	for _, cn := range c.Carriers() {
-		clients := cn.Clients()
+		// The lazy population is materialized on demand: lease the sample
+		// for the duration of the probes (they route from client addresses).
+		clients, release := c.Campaign.SampleClients(cn, 8)
 		if len(clients) == 0 {
+			release()
 			continue
 		}
 		var viaResolver, viaECS, improvement stats.Sample
 		for ci, client := range clients {
-			if ci >= 8 {
-				break
-			}
 			for di, d := range w.CDN.Domains {
 				if di >= 4 {
 					break
@@ -81,6 +81,7 @@ func (c *Context) ECS() Result {
 				improvement.Add(float64(r1.TTFB-r2.TTFB) / float64(time.Millisecond))
 			}
 		}
+		release()
 		if viaResolver.Len() == 0 {
 			continue
 		}

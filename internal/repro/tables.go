@@ -15,7 +15,7 @@ func (c *Context) Table1() Result {
 	m := map[string]float64{}
 	total := 0
 	for _, cn := range c.Carriers() {
-		n := len(cn.Clients())
+		n := c.Campaign.CarrierClientCount(cn.Name)
 		t.row(cn.DisplayName, n, cn.Country)
 		m["clients_"+cn.Name] = float64(n)
 		total += n

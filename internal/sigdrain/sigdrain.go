@@ -1,0 +1,40 @@
+// Package sigdrain centralizes the daemons' shared shutdown shape: block
+// until the first SIGINT/SIGTERM or a fatal serve error, announce the
+// drain, run the daemon-specific drain body, and exit nonzero when the
+// drain fails. adnsd, fwdns and replicad all wrap their teardown in Run
+// so the signal wiring — channel sizing, which signals, error-vs-signal
+// precedence — exists exactly once.
+package sigdrain
+
+import (
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Run blocks until the first SIGINT/SIGTERM or an error on errCh.
+//
+// On a signal it logs "<name>: <signal> — draining" and invokes drain:
+// the closure owns everything daemon-specific (closing listeners in
+// dependency order, final counter reports, health-check flips). A nil
+// return is a clean drain and Run returns; a non-nil return is logged
+// and the process exits 1 — a drain that missed its deadline must not
+// look like a clean stop to process supervisors.
+//
+// An error on errCh is a serve failure, fatal immediately.
+func Run(name string, errCh <-chan error, drain func() error) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case s := <-sig:
+		log.Printf("%s: %s — draining", name, s)
+		if err := drain(); err != nil {
+			log.Printf("%s: %v", name, err)
+			os.Exit(1)
+		}
+	case err := <-errCh:
+		log.Fatalf("%s: %v", name, err)
+	}
+}

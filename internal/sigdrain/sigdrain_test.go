@@ -1,0 +1,40 @@
+package sigdrain
+
+import (
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunDrainsOnSignal exercises the clean path: a SIGTERM delivered to
+// the process reaches Run's handler (not the default terminator), the
+// drain body executes, and Run returns. The error and failed-drain arms
+// call log.Fatalf/os.Exit and are deliberately untestable in-process.
+func TestRunDrainsOnSignal(t *testing.T) {
+	drained := make(chan struct{})
+	done := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		Run("sigdraintest", errCh, func() error {
+			close(drained)
+			return nil
+		})
+		close(done)
+	}()
+	// Give Run a moment to install its handler before the self-signal;
+	// an uncaught SIGTERM would kill the whole test process.
+	time.Sleep(50 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("self-signal: %v", err)
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain body never ran after SIGTERM")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after a clean drain")
+	}
+}

@@ -255,8 +255,8 @@ func TestPanicContainment(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		c := panicCampaign(t, workers, atSeq)
 		ds := c.Collect()
-		if ds.Len() != c.Steps()*len(c.Clients) {
-			t.Fatalf("workers=%d: panic cost experiments: %d/%d", workers, ds.Len(), c.Steps()*len(c.Clients))
+		if ds.Len() != c.Total() {
+			t.Fatalf("workers=%d: panic cost experiments: %d/%d", workers, ds.Len(), c.Total())
 		}
 		failed := 0
 		for _, e := range ds.Experiments {

@@ -67,10 +67,15 @@ type Config struct {
 	// stream, so a fault campaign stays worker-count invariant.
 	Faults string
 	// CheckpointDir, when non-empty, makes CollectDurable append every
-	// completed experiment to a fsync'd JSONL segment under this
-	// directory, with a manifest recording the campaign's identity. A run
-	// killed at any point resumes from the durable prefix.
+	// completed experiment to a fsync'd segment under this directory,
+	// with a manifest recording the campaign's identity. A run killed at
+	// any point resumes from the durable prefix.
 	CheckpointDir string
+	// CheckpointFormat selects the checkpoint segment codec (JSONL by
+	// default, curtainbin with dataset.FormatBinary). Like the other
+	// checkpoint fields it shapes how results persist, never what they
+	// contain, so it is excluded from Hash.
+	CheckpointFormat dataset.Format
 	// CheckpointEvery is the fsync cadence in experiments (0 = the
 	// dataset package default). Smaller values bound the re-run window
 	// after a hard kill at the cost of more fsyncs.
@@ -152,14 +157,27 @@ func (c Config) Hash() string {
 }
 
 // Campaign is a scheduled measurement study over one world.
+//
+// The client population is never materialized: the campaign records only
+// per-carrier counts and derives each device — identity, home, egress
+// ranking — on demand from a pure random stream keyed by (seed, carrier,
+// index), leasing one pooled Client struct per carrier per shard for the
+// duration of an experiment. Generator memory is therefore O(workers),
+// not O(clients), which is what lets million-client campaigns run in a
+// bounded footprint.
 type Campaign struct {
-	World   *sim.World
-	Clients []*carrier.Client
-	Config  Config
+	World  *sim.World
+	Config Config
 
 	runner *measure.Runner
-	rng    *stats.RNG
-	homes  map[string]geo.City
+	// counts and cities are per-carrier, aligned with World.Carriers;
+	// total is the full population size.
+	counts []int
+	cities [][]geo.City
+	total  int
+	// scratch holds one pooled Client per carrier, re-filled for each of
+	// this shard's experiments (shards never run two experiments at once).
+	scratch []*carrier.Client
 	// replicas are the worker shards beyond the first: identical
 	// campaigns over independently built worlds. Worker w handles
 	// clients w, w+Workers, w+2*Workers, ... on its own replica.
@@ -170,15 +188,20 @@ type Campaign struct {
 	afterExperiment func(completed int)
 }
 
-// NewCampaign subscribes the client population and prepares the runner.
+// clientSalt separates the population stream from every other campaign
+// stream; prepareSalt does the same for per-experiment mobility/radio.
+const (
+	clientSalt  = 0x51AA7
+	prepareSalt = 0x93E1
+)
+
+// NewCampaign sizes the client population and prepares the runner.
 func NewCampaign(w *sim.World, cfg Config) (*Campaign, error) {
 	cfg = cfg.withDefaults()
 	c := &Campaign{
 		World:  w,
 		Config: cfg,
 		runner: measure.NewRunner(w),
-		rng:    stats.NewRNG(cfg.Seed ^ 0x7AACE),
-		homes:  make(map[string]geo.City),
 	}
 	c.runner.TracerouteEvery = cfg.TracerouteEvery
 	for _, cn := range w.Carriers {
@@ -190,15 +213,11 @@ func NewCampaign(w *sim.World, cfg Config) (*Campaign, error) {
 		if len(cities) == 0 {
 			return nil, fmt.Errorf("trace: no cities for %s", cn.Country)
 		}
-		for i := 0; i < count; i++ {
-			city := cities[c.rng.Intn(len(cities))]
-			home := jitter(city.Loc, c.rng, 0.08) // ~ within metro area
-			id := fmt.Sprintf("%s-%03d", cn.Name, i)
-			client := cn.NewClient(id, home)
-			c.homes[id] = city
-			c.Clients = append(c.Clients, client)
-		}
+		c.counts = append(c.counts, count)
+		c.cities = append(c.cities, cities)
+		c.total += count
 	}
+	c.scratch = make([]*carrier.Client, len(w.Carriers))
 	if cfg.Faults != "" {
 		// Each shard gets its own Schedule instance: the schedule holds a
 		// per-experiment stream, which must not be shared across workers.
@@ -227,9 +246,9 @@ func NewCampaign(w *sim.World, cfg Config) (*Campaign, error) {
 			if err != nil {
 				return nil, fmt.Errorf("trace: campaign replica %d: %w", i, err)
 			}
-			if len(rep.Clients) != len(c.Clients) {
-				return nil, fmt.Errorf("trace: world replica %d subscribed %d clients, want %d (WorldFactory not deterministic?)",
-					i, len(rep.Clients), len(c.Clients))
+			if rep.total != c.total {
+				return nil, fmt.Errorf("trace: world replica %d sized %d clients, want %d (WorldFactory not deterministic?)",
+					i, rep.total, c.total)
 			}
 			c.replicas = append(c.replicas, rep)
 		}
@@ -245,14 +264,99 @@ func jitter(p geo.Point, rng *stats.RNG, r float64) geo.Point {
 	}
 }
 
+// materializeClient derives device j of carrier ci purely from the
+// campaign seed — identity, home city, metro jitter — and fills dst with
+// it. Deriving instead of storing is what keeps the population lazy: any
+// device can be rebuilt at any time from O(1) state.
+func (c *Campaign) materializeClient(ci, j int, dst *carrier.Client) {
+	cn := c.World.Carriers[ci]
+	r := stats.Stream(c.Config.Seed^clientSalt, stats.Fingerprint(cn.Name), uint64(j))
+	cities := c.cities[ci]
+	home := jitter(cities[r.Intn(len(cities))].Loc, r, 0.08) // ~ within metro area
+	cn.FillClientAt(dst, fmt.Sprintf("%s-%03d", cn.Name, j), home, j)
+}
+
+// leaseClient materializes device j of carrier ci into the shard's
+// pooled scratch Client and subscribes it to its carrier for the
+// experiment about to run. The caller must Unsubscribe when done.
+func (c *Campaign) leaseClient(ci, j int) *carrier.Client {
+	dst := c.scratch[ci]
+	if dst == nil {
+		dst = new(carrier.Client)
+		c.scratch[ci] = dst
+	}
+	c.materializeClient(ci, j, dst)
+	c.World.Carriers[ci].Subscribe(dst)
+	return dst
+}
+
+// locate maps a global client index to (carrier index, within-carrier
+// index).
+func (c *Campaign) locate(clientIdx int) (ci, j int) {
+	for ci, n := range c.counts {
+		if clientIdx < n {
+			return ci, clientIdx
+		}
+		clientIdx -= n
+	}
+	panic("trace: client index out of range")
+}
+
+// ClientCount returns the campaign's population size.
+func (c *Campaign) ClientCount() int { return c.total }
+
+// CarrierClientCount returns one carrier's population size by name.
+func (c *Campaign) CarrierClientCount(name string) int {
+	for ci, cn := range c.World.Carriers {
+		if cn.Name == name {
+			return c.counts[ci]
+		}
+	}
+	return 0
+}
+
+// SampleClients materializes and subscribes up to max devices of a
+// carrier, for post-campaign analyses that probe from client addresses.
+// The returned release func unsubscribes them; the clients are valid
+// only until release is called.
+func (c *Campaign) SampleClients(cn *carrier.Network, max int) ([]*carrier.Client, func()) {
+	ci := -1
+	for i, other := range c.World.Carriers {
+		if other == cn {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return nil, func() {}
+	}
+	n := c.counts[ci]
+	if n > max {
+		n = max
+	}
+	out := make([]*carrier.Client, n)
+	for j := 0; j < n; j++ {
+		dst := new(carrier.Client)
+		c.materializeClient(ci, j, dst)
+		cn.Subscribe(dst)
+		out[j] = dst
+	}
+	return out, func() {
+		for _, cl := range out {
+			cn.Unsubscribe(cl)
+		}
+	}
+}
+
 // prepare sets a client's location and radio technology for one
 // experiment, deterministically from (client, time).
-func (c *Campaign) prepare(client *carrier.Client, cn *carrier.Network, now time.Time) {
-	r := c.rng.Fork(client.Key ^ uint64(now.UnixNano()))
+func (c *Campaign) prepare(client *carrier.Client, ci int, now time.Time) {
+	cn := c.World.Carriers[ci]
+	r := stats.Stream(c.Config.Seed, prepareSalt, client.Key^uint64(now.UnixNano()))
 	// Mobility: mostly tiny jitter around home (within the paper's 1 km
 	// static-location filter), occasionally a trip to another city.
 	if r.Float64() < c.Config.TravelProb {
-		cities := geo.CitiesIn(cn.Country)
+		cities := c.cities[ci]
 		client.Loc = jitter(cities[r.Intn(len(cities))].Loc, r, 0.05)
 	} else {
 		client.Loc = jitter(client.Home, r, 0.004) // ≤ ~500 m
@@ -329,7 +433,7 @@ func (c *Campaign) Run(record func(*dataset.Experiment)) {
 // a canonical prefix, which the caller must discard — the durable state
 // lives in the checkpoint, not in whatever record accumulated.
 func (c *Campaign) run(prior map[int]*dataset.Experiment, ck *dataset.Checkpoint, record func(*dataset.Experiment)) (RunStatus, error) {
-	steps, clients := c.Steps(), len(c.Clients)
+	steps, clients := c.Steps(), c.total
 	total := steps * clients
 	st := RunStatus{Total: total, Reused: len(prior)}
 	shards := append([]*Campaign{c}, c.replicas...)
@@ -448,27 +552,29 @@ func (c *Campaign) run(prior map[int]*dataset.Experiment, ck *dataset.Checkpoint
 // failed-experiment marker, so one crashing experiment costs one record,
 // not the shard.
 func (c *Campaign) runExperiment(step, clientIdx int) (exp *dataset.Experiment) {
-	client := c.Clients[clientIdx]
-	cn := networkOf(c.World, client)
+	ci, j := c.locate(clientIdx)
+	cn := c.World.Carriers[ci]
+	client := c.leaseClient(ci, j)
+	defer cn.Unsubscribe(client)
 	base := c.Config.Start.Add(time.Duration(step) * c.Config.Interval)
 	// Spread devices inside the round so they do not measure in
 	// lock-step (the paper's devices were independent).
 	offset := time.Duration(client.Key%uint64(c.Config.Interval/time.Minute)) * time.Minute
 	now := base.Add(offset)
-	seq := step*len(c.Clients) + clientIdx + 1
+	seq := step*c.total + clientIdx + 1
 	defer func() {
 		if p := recover(); p != nil {
 			exp = measure.FailedExperiment(client, cn, now, seq, fmt.Sprint(p))
 		}
 	}()
-	c.prepare(client, cn, now)
+	c.prepare(client, ci, now)
 	stream := stats.Stream(c.Config.Seed, client.Key, uint64(seq))
 	return c.runner.RunAt(client, now, seq, stream)
 }
 
 // Total returns the number of experiments in the full campaign.
 func (c *Campaign) Total() int {
-	return c.Steps() * len(c.Clients)
+	return c.Steps() * c.total
 }
 
 // RunSeq executes the single experiment with canonical sequence number
@@ -482,8 +588,7 @@ func (c *Campaign) RunSeq(seq int) (*dataset.Experiment, error) {
 	if seq < 1 || seq > total {
 		return nil, fmt.Errorf("trace: seq %d outside 1..%d", seq, total)
 	}
-	clients := len(c.Clients)
-	return c.runExperiment((seq-1)/clients, (seq-1)%clients), nil
+	return c.runExperiment((seq-1)/c.total, (seq-1)%c.total), nil
 }
 
 // Collect runs the campaign into a fresh in-memory dataset.
@@ -530,20 +635,23 @@ func VerifyManifest(dir string, m dataset.Manifest, cfg Config, total int) error
 	return nil
 }
 
-// CollectDurable runs the campaign with durable checkpointing in
-// Config.CheckpointDir. Completed experiments are appended to the
-// checkpoint segment as they finish; with Config.Resume the durable
-// prefix of a previous run is verified against the campaign's seed and
-// config hash, reused, and only the remainder executes. On a completed
-// run it returns the full canonical dataset — byte-identical to an
-// uninterrupted run. On interrupt it returns ErrInterrupted with the
-// checkpoint flushed.
-func (c *Campaign) CollectDurable() (*dataset.Dataset, RunStatus, error) {
+// RunDurable runs the campaign with durable checkpointing in
+// Config.CheckpointDir, streaming every experiment to record in
+// canonical order as the contiguous prefix completes — like Run, but
+// durable. Completed experiments are appended to the checkpoint segment
+// (in Config.CheckpointFormat's codec) as they finish; with
+// Config.Resume the durable prefix of a previous run is verified against
+// the campaign's seed and config hash, reused, and only the remainder
+// executes. On a fresh run, memory is bounded by the workers'
+// out-of-order window regardless of campaign size. On interrupt it
+// returns ErrInterrupted with the checkpoint flushed; record has then
+// seen only a canonical prefix, which the caller must discard.
+func (c *Campaign) RunDurable(record func(*dataset.Experiment)) (RunStatus, error) {
 	cfg := c.Config
 	if cfg.CheckpointDir == "" {
-		return nil, RunStatus{}, fmt.Errorf("trace: CollectDurable requires Config.CheckpointDir")
+		return RunStatus{}, fmt.Errorf("trace: RunDurable requires Config.CheckpointDir")
 	}
-	total := c.Steps() * len(c.Clients)
+	total := c.Steps() * c.total
 	var (
 		ck        *dataset.Checkpoint
 		prior     map[int]*dataset.Experiment
@@ -552,19 +660,19 @@ func (c *Campaign) CollectDurable() (*dataset.Dataset, RunStatus, error) {
 	if cfg.Resume {
 		opened, priorDS, torn, err := dataset.OpenCheckpoint(cfg.CheckpointDir)
 		if err != nil {
-			return nil, RunStatus{}, fmt.Errorf("trace: resume: %w", err)
+			return RunStatus{}, fmt.Errorf("trace: resume: %w", err)
 		}
 		if err := VerifyManifest(cfg.CheckpointDir, opened.Manifest(), cfg, total); err != nil {
 			_ = opened.Close()
 			//lint:ignore errwrap ConfigMismatchError is returned typed so callers can errors.As it
-			return nil, RunStatus{}, err
+			return RunStatus{}, err
 		}
 		opened.SetEvery(cfg.CheckpointEvery)
 		prior = make(map[int]*dataset.Experiment, priorDS.Len())
 		for _, e := range priorDS.Experiments {
 			if e.Seq < 1 || e.Seq > total {
 				_ = opened.Close()
-				return nil, RunStatus{}, fmt.Errorf("trace: checkpoint %s: experiment seq %d outside 1..%d",
+				return RunStatus{}, fmt.Errorf("trace: checkpoint %s: experiment seq %d outside 1..%d",
 					cfg.CheckpointDir, e.Seq, total)
 			}
 			prior[e.Seq] = e
@@ -572,38 +680,41 @@ func (c *Campaign) CollectDurable() (*dataset.Dataset, RunStatus, error) {
 		ck, discarded = opened, torn
 	} else {
 		created, err := dataset.CreateCheckpoint(cfg.CheckpointDir, dataset.Manifest{
-			Seed: cfg.Seed, ConfigHash: cfg.Hash(), Total: total,
+			Format: cfg.CheckpointFormat,
+			Seed:   cfg.Seed, ConfigHash: cfg.Hash(), Total: total,
 		}, cfg.CheckpointEvery)
 		if err != nil {
-			return nil, RunStatus{}, fmt.Errorf("trace: checkpoint: %w", err)
+			return RunStatus{}, fmt.Errorf("trace: checkpoint: %w", err)
 		}
 		ck = created
 	}
 
-	ds := &dataset.Dataset{}
-	st, runErr := c.run(prior, ck, ds.Add)
+	st, runErr := c.run(prior, ck, record)
 	st.DiscardedBytes = discarded
 	cerr := ck.Close()
 	if runErr != nil {
 		//lint:ignore errwrap run errors keep ErrInterrupted and friends matchable as-is
-		return nil, st, runErr
+		return st, runErr
 	}
 	if cerr != nil {
 		//lint:ignore errwrap Checkpoint.Close errors already name the checkpoint
-		return nil, st, cerr
+		return st, cerr
 	}
 	if st.Interrupted {
-		return nil, st, fmt.Errorf("%w: %d/%d experiments durable in %s",
+		return st, fmt.Errorf("%w: %d/%d experiments durable in %s",
 			ErrInterrupted, st.Completed, st.Total, cfg.CheckpointDir)
 	}
-	return ds, st, nil
+	return st, nil
 }
 
-func networkOf(w *sim.World, client *carrier.Client) *carrier.Network {
-	for _, cn := range w.Carriers {
-		if _, ok := cn.ClientByAddr(client.Addr); ok {
-			return cn
-		}
+// CollectDurable is RunDurable materialized: it collects the streamed
+// experiments into a fresh dataset and returns it on a completed run —
+// byte-identical to an uninterrupted one.
+func (c *Campaign) CollectDurable() (*dataset.Dataset, RunStatus, error) {
+	ds := &dataset.Dataset{}
+	st, err := c.RunDurable(ds.Add)
+	if err != nil {
+		return nil, st, err
 	}
-	panic("trace: orphaned client")
+	return ds, st, nil
 }

@@ -34,12 +34,12 @@ func TestCampaignPopulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(c.Clients) != 158 {
-		t.Fatalf("population = %d, Table 1 says 158", len(c.Clients))
+	if c.ClientCount() != 158 {
+		t.Fatalf("population = %d, Table 1 says 158", c.ClientCount())
 	}
 	perCarrier := map[string]int{}
 	for _, cn := range w.Carriers {
-		perCarrier[cn.Name] = len(cn.Clients())
+		perCarrier[cn.Name] = c.CarrierClientCount(cn.Name)
 	}
 	want := map[string]int{"att": 33, "sprint": 9, "tmobile": 31, "verizon": 64, "sktelecom": 17, "lgu": 4}
 	for name, n := range want {
@@ -52,11 +52,11 @@ func TestCampaignPopulation(t *testing.T) {
 func TestCampaignScaling(t *testing.T) {
 	c, _ := smallCampaign(t, 1, 0.05)
 	// Every carrier keeps at least one client even at tiny scales.
-	if len(c.Clients) < 6 {
-		t.Fatalf("scaled population = %d, want >= 6", len(c.Clients))
+	if c.ClientCount() < 6 {
+		t.Fatalf("scaled population = %d, want >= 6", c.ClientCount())
 	}
-	if len(c.Clients) > 20 {
-		t.Fatalf("scaled population = %d, too large for scale 0.05", len(c.Clients))
+	if c.ClientCount() > 20 {
+		t.Fatalf("scaled population = %d, too large for scale 0.05", c.ClientCount())
 	}
 }
 

@@ -115,6 +115,72 @@ END {
 echo "bench.sh: wrote $aout"
 cat "$aout"
 
+# --- large-campaign codec benchmark: curtainbin vs JSONL --------------
+#
+# One-day single-step campaigns at 10^4 and 10^5 clients (-scale 63.3 /
+# 633), streamed with `simulate -stats` in both codecs: wall time,
+# bytes/experiment and subprocess peak RSS (VmHWM), plus the offline
+# `analyze -stats` numbers over each file. The results are spliced into
+# BENCH_campaign.json (generation) and BENCH_analyze.json (analysis) as
+# a codec_runs array. The compact codec must stay >= 5x smaller per
+# experiment than JSONL — check.sh smokes the 10^4 configuration on
+# every PR; the 10^5 run here is the bounded-peak-RSS evidence.
+
+codec_scales="${CODEC_SCALES:-63.3 633}"
+campfrag="$(mktemp)"
+anafrag="$(mktemp)"
+codecds="$(mktemp)"
+trap 'rm -f "$raw" "$araw" "$dsfile" "$curtain" "$campfrag" "$anafrag" "$codecds"' EXIT
+: > "$campfrag"
+: > "$anafrag"
+
+statval() { # statval <key> <key=value line>
+	printf '%s\n' "$2" | tr ' ' '\n' | sed -n "s/^$1=//p"
+}
+
+echo "==> codec benchmark: simulate + analyze at scales $codec_scales (jsonl vs binary)"
+for scale in $codec_scales; do
+	for fmt in jsonl binary; do
+		line="$("$curtain" simulate -days 1 -interval-hours 24 -scale "$scale" -seed 2014 \
+			-format "$fmt" -stats -out "$codecds" 2>&1 >/dev/null |
+			sed -n 's/^curtain: simulate stats: //p')"
+		[ -n "$line" ] || { echo "bench.sh: no simulate stats for scale=$scale fmt=$fmt" >&2; exit 1; }
+		clients="$(statval clients "$line")"
+		printf '    {"clients": %s, "format": "%s", "experiments": %s, "seconds": %s, "exp_per_sec": %s, "bytes": %s, "bytes_per_exp": %s, "peak_rss_mb": %s},\n' \
+			"$clients" "$fmt" "$(statval experiments "$line")" "$(statval seconds "$line")" \
+			"$(statval exp_per_sec "$line")" "$(statval bytes "$line")" \
+			"$(statval bytes_per_exp "$line")" "$(statval peak_rss_mb "$line")" >> "$campfrag"
+		echo "  simulate scale=$scale fmt=$fmt: $line"
+
+		aline="$("$curtain" analyze -in "$codecds" -stats 2>&1 >/dev/null |
+			sed -n 's/^analyze: \([0-9]*\) experiments in \([0-9.]*\)s (\([0-9]*\) exp\/s), peak RSS \([0-9.]*\) MB$/\1 \2 \3 \4/p')"
+		[ -n "$aline" ] || { echo "bench.sh: no analyze stats for scale=$scale fmt=$fmt" >&2; exit 1; }
+		set -- $aline
+		printf '    {"clients": %s, "format": "%s", "experiments": %s, "seconds": %s, "exp_per_sec": %s, "peak_rss_mb": %s},\n' \
+			"$clients" "$fmt" "$1" "$2" "$3" "$4" >> "$anafrag"
+		echo "  analyze  scale=$scale fmt=$fmt: $1 experiments in ${2}s ($3 exp/s), peak RSS $4 MB"
+	done
+done
+
+splice_codec() { # splice_codec <bench-json> <fragment>
+	# Drop the fragment's trailing comma, then insert it as a codec_runs
+	# array before the file's closing brace.
+	sed '$ s/,$//' "$2" > "$2.clean"
+	awk -v frag="$2.clean" '
+		/^}$/ && !done {
+			print "  ,\"codec_runs\": ["
+			while ((getline l < frag) > 0) print l
+			print "  ]"
+			done = 1
+		}
+		{ print }
+	' "$1" > "$1.tmp" && mv "$1.tmp" "$1"
+	rm -f "$2.clean"
+}
+splice_codec "$out" "$campfrag"
+splice_codec "$aout" "$anafrag"
+echo "bench.sh: spliced codec_runs into $out and $aout"
+
 # --- batched serving-path benchmark: BENCH_serve.json -----------------
 #
 # Hammers a local adnsd with `curtain loadgen` in three configurations:

@@ -30,6 +30,9 @@ go test -count=1 -run '^TestHotPathAllocs' ./internal/dnswire/
 echo "==> serving hot-path zero-alloc proof (dispatch, servfail, batch read loop)"
 go test -count=1 -run '^TestHotPathAllocs' ./internal/dnsserver/
 
+echo "==> curtainbin codec zero-alloc proof (per-record encode/decode)"
+go test -count=1 -run '^TestHotPathAllocs' ./internal/dataset/
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -66,12 +69,51 @@ for mode in "-parallel 4" "-parallel 8" "-legacy"; do
 	cmp "$cka" "$ckb" || { echo "check.sh: analyze $mode diverges from -parallel 1" >&2; exit 1; }
 done
 
+echo "==> codec round-trip (jsonl -> binary -> jsonl via convert, byte-identical; analyze agrees on both)"
+cvbin="$(mktemp)"
+cvjsonl="$(mktemp)"
+trap 'rm -f "$ckbin" "$ckds" "$cka" "$ckb" "$cvbin" "$cvjsonl"' EXIT
+"$ckbin" convert -in "$ckds" -out "$cvbin" 2>/dev/null
+"$ckbin" convert -in "$cvbin" -out "$cvjsonl" 2>/dev/null
+cmp "$ckds" "$cvjsonl" || { echo "check.sh: jsonl -> binary -> jsonl round trip diverges" >&2; exit 1; }
+"$ckbin" analyze -in "$cvbin" -parallel 4 > "$ckb"
+cmp "$cka" "$ckb" || { echo "check.sh: analyze over the binary codec diverges from JSONL" >&2; exit 1; }
+
+echo "==> binary checkpoint kill-resume invariance (torn segment tail + -resume -> byte-identical)"
+# A durable binary-checkpoint run, then a simulated hard kill mid-append
+# (chop the segment tail mid-record) and a resume: the resumed dataset
+# must equal the serial JSONL reference byte for byte.
+bkdir="$(mktemp -d)"
+trap 'rm -f "$ckbin" "$ckds" "$cka" "$ckb" "$cvbin" "$cvjsonl"; rm -rf "$bkdir"' EXIT
+"$ckbin" simulate -days 2 -scale 0.1 -seed 7 -checkpoint-dir "$bkdir/ck" \
+	-checkpoint-format binary -out "$ckb" >/dev/null 2>&1
+cmp "$ckds" "$ckb" || { echo "check.sh: binary-checkpoint run diverges from plain run" >&2; exit 1; }
+bkseg="$bkdir/ck/experiments.bin"
+[ -f "$bkseg" ] || { echo "check.sh: no binary segment at $bkseg" >&2; exit 1; }
+bksize="$(wc -c < "$bkseg")"
+dd if=/dev/null of="$bkseg" bs=1 seek="$((bksize - 17))" 2>/dev/null # tear the tail mid-record
+"$ckbin" simulate -days 2 -scale 0.1 -seed 7 -checkpoint-dir "$bkdir/ck" \
+	-resume -out "$ckb" >/dev/null 2>&1
+cmp "$ckds" "$ckb" || { echo "check.sh: binary kill-resume diverges from serial bytes" >&2; exit 1; }
+
+echo "==> codec bench smoke (10^4-client single-step campaign; binary >= 5x smaller than JSONL)"
+c4j="$(mktemp)"
+c4b="$(mktemp)"
+trap 'rm -f "$ckbin" "$ckds" "$cka" "$ckb" "$cvbin" "$cvjsonl" "$c4j" "$c4b"; rm -rf "$bkdir"' EXIT
+"$ckbin" simulate -days 1 -interval-hours 24 -scale 63.3 -seed 2014 -format jsonl -out "$c4j" >/dev/null 2>&1
+"$ckbin" simulate -days 1 -interval-hours 24 -scale 63.3 -seed 2014 -format binary -out "$c4b" >/dev/null 2>&1
+jsz="$(wc -c < "$c4j")"
+bsz="$(wc -c < "$c4b")"
+echo "  10^4 clients: jsonl $jsz bytes, binary $bsz bytes ($(awk "BEGIN{printf \"%.1f\", $jsz / $bsz}")x)"
+awk "BEGIN{exit !($jsz >= 5 * $bsz)}" || {
+	echo "check.sh: binary dataset not >= 5x smaller than JSONL ($jsz vs $bsz bytes)" >&2; exit 1; }
+
 echo "==> analyze benchmark smoke (1 iteration of BenchmarkAnalyze/parallel=1)"
 go test -run '^$' -bench '^BenchmarkAnalyze/parallel=1$' -benchtime 1x -timeout 900s .
 
 echo "==> loadgen smoke (adnsd answers; nonzero completed QPS, zero parse errors)"
 lgsrv="$(mktemp)"
-trap 'rm -f "$ckbin" "$ckds" "$cka" "$ckb" "$lgsrv"' EXIT
+trap 'rm -f "$ckbin" "$ckds" "$cka" "$ckb" "$cvbin" "$cvjsonl" "$c4j" "$c4b" "$lgsrv"; rm -rf "$bkdir"' EXIT
 go build -o "$lgsrv" ./cmd/adnsd
 "$lgsrv" -listen 127.0.0.1:19533 -quiet -zone loadgen.example &
 lgpid=$!
@@ -100,7 +142,7 @@ echo "==> chaos smoke (fwdns vs scripted upstream outage; serve-stale keeps answ
 fwbin="$(mktemp)"
 flbin="$(mktemp)"
 fwlog="$(mktemp)"
-trap 'rm -f "$ckbin" "$ckds" "$cka" "$ckb" "$lgsrv" "$fwbin" "$flbin" "$fwlog"' EXIT
+trap 'rm -f "$ckbin" "$ckds" "$cka" "$ckb" "$cvbin" "$cvjsonl" "$c4j" "$c4b" "$lgsrv" "$fwbin" "$flbin" "$fwlog"; rm -rf "$bkdir"' EXIT
 go build -o "$fwbin" ./cmd/fwdns
 go build -o "$flbin" ./cmd/flakydns
 "$flbin" -listen 127.0.0.1:19541 -script ok:3s,down:600s -ttl 1 -quiet 2>/dev/null &
@@ -157,7 +199,7 @@ dcser="$(mktemp)"
 dcdist="$(mktemp)"
 dclog="$(mktemp)"
 dcvlog="$(mktemp)"
-trap 'rm -f "$ckbin" "$ckds" "$cka" "$ckb" "$lgsrv" "$fwbin" "$flbin" "$fwlog" "$dcser" "$dcdist" "$dclog" "$dcvlog"; rm -rf "$dcdir"' EXIT
+trap 'rm -f "$ckbin" "$ckds" "$cka" "$ckb" "$cvbin" "$cvjsonl" "$c4j" "$c4b" "$lgsrv" "$fwbin" "$flbin" "$fwlog" "$dcser" "$dcdist" "$dclog" "$dcvlog"; rm -rf "$bkdir" "$dcdir"' EXIT
 "$ckbin" simulate -days 8 -scale 0.5 -seed 7 -out "$dcser" >/dev/null 2>&1
 "$ckbin" coordinate -listen 127.0.0.1:19550 -checkpoint-dir "$dcdir/ck" \
 	-days 8 -scale 0.5 -seed 7 -lease 16 -out "$dcdist" 2> "$dclog" &
