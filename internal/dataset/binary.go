@@ -334,6 +334,22 @@ func (d *binDecoder) uvarint() uint64 {
 //lint:hotpath
 func (d *binDecoder) varint() int64 { return unzigzag(d.uvarint()) }
 
+// count decodes a collection length and bounds it by the remaining
+// payload: every element consumes at least one byte, so a larger count
+// is corrupt regardless of element type. The uint64 comparison also
+// rejects counts that would overflow int, which would otherwise turn
+// into negative slice bounds downstream.
+//
+//lint:hotpath
+func (d *binDecoder) count() int {
+	n := d.uvarint()
+	if d.bad || n > uint64(len(d.buf)-d.pos) {
+		d.bad = true
+		return 0
+	}
+	return int(n)
+}
+
 //lint:hotpath
 func (d *binDecoder) str() string {
 	i := d.uvarint()
@@ -438,29 +454,40 @@ func (d *binDecoder) decodeExperiment(e *Experiment) bool {
 	e.Failed = flags&2 != 0
 	e.FailReason = d.str()
 
-	n := int(d.uvarint())
+	n := d.count()
+	if d.bad {
+		return false
+	}
 	e.Resolutions = growResolutions(e.Resolutions, n)
 	for i := 0; i < n && !d.bad; i++ {
 		d.decodeResolution(&e.Resolutions[i])
 	}
-	n = int(d.uvarint())
+	n = d.count()
+	if d.bad {
+		return false
+	}
 	e.Discoveries = growDiscoveries(e.Discoveries, n)
 	for i := 0; i < n && !d.bad; i++ {
 		d.decodeDiscovery(&e.Discoveries[i])
 	}
-	n = int(d.uvarint())
+	n = d.count()
+	if d.bad {
+		return false
+	}
 	e.ResolverProbes = growResolverProbes(e.ResolverProbes, n)
 	for i := 0; i < n && !d.bad; i++ {
 		d.decodeResolverProbe(&e.ResolverProbes[i])
 	}
-	n = int(d.uvarint())
+	n = d.count()
+	if d.bad {
+		return false
+	}
 	e.ReplicaProbes = growReplicaProbes(e.ReplicaProbes, n)
 	for i := 0; i < n && !d.bad; i++ {
 		d.decodeReplicaProbe(&e.ReplicaProbes[i])
 	}
-	n = int(d.uvarint())
-	if d.bad || n > len(d.buf)-d.pos {
-		d.bad = true
+	n = d.count()
+	if d.bad {
 		return false
 	}
 	e.EgressTrace = d.appendAddrs(e.EgressTrace, n)
@@ -489,9 +516,8 @@ func (d *binDecoder) decodeResolution(r *Resolution) {
 	r.OK = flags&1 != 0
 	r.OK2 = flags&2 != 0
 	r.FailedOver = flags&4 != 0
-	n := int(d.uvarint())
-	if d.bad || n > len(d.buf)-d.pos {
-		d.bad = true
+	n := d.count()
+	if d.bad {
 		return
 	}
 	r.Answers = d.appendAddrs(answers, n)
@@ -811,6 +837,12 @@ func (s *binScanner) readSegment(fn ScanFunc) (int, error) {
 		}
 		if _, err := io.ReadFull(s.fr, raw); err != nil {
 			return 1, fmt.Errorf("dataset: curtainbin: decompress segment: %w", err)
+		}
+		// The stream must be exhausted: a payload inflating past rawLen
+		// would otherwise be silently truncated, hiding the corruption
+		// from the trailing-bytes check below.
+		if n, err := io.CopyN(io.Discard, s.fr, 1); n != 0 || err != io.EOF {
+			return 1, fmt.Errorf("dataset: curtainbin: segment inflates past declared %d raw bytes", rawLen)
 		}
 	} else if uint64(len(raw)) != rawLen {
 		return 1, fmt.Errorf("dataset: curtainbin: segment declares %d raw bytes but stores %d", rawLen, storedLen)

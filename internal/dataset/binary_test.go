@@ -2,6 +2,8 @@ package dataset
 
 import (
 	"bytes"
+	"compress/flate"
+	"encoding/binary"
 	"net/netip"
 	"os"
 	"path/filepath"
@@ -177,6 +179,110 @@ func TestBinaryCorruptionIsNotTorn(t *testing.T) {
 	b[len(binMagic)+2] ^= 0xFF // corrupt the segment header in place
 	if _, err := ScanTorn(bytes.NewReader(b), func(*Experiment) error { return nil }); err == nil {
 		t.Fatal("mid-file corruption must stay an error even in torn mode")
+	}
+}
+
+// craftSegmentPayload hand-assembles a one-record segment payload: a
+// string table holding a single empty entry and a minimal record whose
+// five collection counts (resolutions, discoveries, resolver probes,
+// replica probes, egress hops) are the given values with no elements
+// behind them — the shape a corrupt or hostile frame takes.
+func craftSegmentPayload(counts [5]uint64) []byte {
+	var body []byte
+	body = append(body, 0, 0, 0)             // seq delta, time delta, nanos
+	body = append(body, 0, 0, 0, 0)          // ClientID/Carrier/Country/Radio -> ""
+	body = append(body, make([]byte, 16)...) // Lat, Lon
+	body = append(body, 0, 0)                // NATAddr, Configured: invalid
+	body = append(body, 0)                   // flags
+	body = append(body, 0)                   // FailReason -> ""
+	for _, c := range counts {
+		body = binary.AppendUvarint(body, c)
+	}
+	var raw []byte
+	raw = append(raw, 1, 0) // string table: one empty string
+	raw = binary.AppendUvarint(raw, uint64(len(body)))
+	return append(raw, body...)
+}
+
+// frameSegment wraps a raw payload in a complete curtainbin file frame.
+func frameSegment(flags byte, nrec, rawLen int, stored []byte) []byte {
+	f := append([]byte{}, binMagic[:]...)
+	f = append(f, segMagic[:]...)
+	f = append(f, flags)
+	f = binary.AppendUvarint(f, uint64(nrec))
+	f = binary.AppendUvarint(f, uint64(rawLen))
+	f = binary.AppendUvarint(f, uint64(len(stored)))
+	return append(f, stored...)
+}
+
+// TestBinaryHugeCollectionCount pins down that a record claiming more
+// collection elements than the payload can hold — including counts past
+// 2^63, which overflow int — is a decode error, not a panic or a
+// multi-GB allocation. This path is worker-reachable: the coordinator
+// feeds worker-supplied segment bytes through UnmarshalExperiments.
+func TestBinaryHugeCollectionCount(t *testing.T) {
+	sane := craftSegmentPayload([5]uint64{})
+	if es, err := UnmarshalExperiments(frameSegment(0, 1, len(sane), sane)); err != nil || len(es) != 1 {
+		t.Fatalf("minimal crafted record must decode (got %d, %v)", len(es), err)
+	}
+	for i := 0; i < 5; i++ {
+		for _, huge := range []uint64{1 << 40, 1 << 63, ^uint64(0)} {
+			var counts [5]uint64
+			counts[i] = huge
+			raw := craftSegmentPayload(counts)
+			if _, err := UnmarshalExperiments(frameSegment(0, 1, len(raw), raw)); err == nil {
+				t.Fatalf("count[%d]=%d accepted", i, huge)
+			}
+		}
+	}
+}
+
+// TestBinaryFlateOverInflation: a compressed payload that inflates past
+// its declared raw length is corrupt and must be rejected, not silently
+// truncated to the declared length.
+func TestBinaryFlateOverInflation(t *testing.T) {
+	raw := craftSegmentPayload([5]uint64{})
+	deflate := func(b []byte) []byte {
+		var comp bytes.Buffer
+		fw, err := flate.NewWriter(&comp, flate.DefaultCompression)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return comp.Bytes()
+	}
+	if es, err := UnmarshalExperiments(frameSegment(segFlagFlate, 1, len(raw), deflate(raw))); err != nil || len(es) != 1 {
+		t.Fatalf("exact compressed segment must decode (got %d, %v)", len(es), err)
+	}
+	over := deflate(append(bytes.Clone(raw), 'X'))
+	if _, err := UnmarshalExperiments(frameSegment(segFlagFlate, 1, len(raw), over)); err == nil {
+		t.Fatal("segment inflating past declared raw length accepted")
+	}
+}
+
+// TestFileShardsTruncatedTrailer: a kill that tears the file inside the
+// next segment's fixed header (1-4 trailing bytes) must surface as the
+// truncation error, not a slice-bounds panic in offset discovery.
+func TestFileShardsTruncatedTrailer(t *testing.T) {
+	d := sampleDataset(40)
+	var bin bytes.Buffer
+	if err := d.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	for extra := 1; extra <= 4; extra++ {
+		b := append(bytes.Clone(bin.Bytes()), segMagic[:extra]...)
+		path := filepath.Join(t.TempDir(), "trunc.bin")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := FileShards(path, 3); err == nil {
+			t.Fatalf("%d torn trailing bytes accepted", extra)
+		}
 	}
 }
 

@@ -24,8 +24,13 @@ const (
 	segmentFileBin = "experiments.bin"
 	manifestFile   = "manifest.json"
 
-	// ManifestVersion is bumped on incompatible layout changes.
-	ManifestVersion = 1
+	// ManifestVersion is bumped on incompatible layout changes, and on
+	// any change to how trace derives client populations from (seed,
+	// config): resuming across such a change would splice two different
+	// populations into one dataset even though Seed and ConfigHash
+	// still match. Version 2 = per-client RNG streams (seed^clientSalt,
+	// carrier fingerprint, index) replacing the shared sequential RNG.
+	ManifestVersion = 2
 
 	// DefaultCheckpointEvery is the fsync cadence in experiments.
 	DefaultCheckpointEvery = 64

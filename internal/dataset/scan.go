@@ -268,7 +268,14 @@ func binarySegmentOffsets(f *os.File, path string, size int64) ([]int64, error) 
 	var vbuf [3 * binary.MaxVarintLen64]byte
 	for pos < size {
 		offsets = append(offsets, pos)
-		vn, err := f.ReadAt(vbuf[:min64(int64(len(vbuf)), size-pos-int64(len(hdr)))], pos+int64(len(hdr)))
+		// A tail shorter than the fixed header (1-4 trailing bytes after
+		// the last whole segment) leaves no varint bytes to read; the
+		// header ReadAt below then reports the truncation.
+		vlen := min64(int64(len(vbuf)), size-pos-int64(len(hdr)))
+		if vlen < 0 {
+			vlen = 0
+		}
+		vn, err := f.ReadAt(vbuf[:vlen], pos+int64(len(hdr)))
 		if _, herr := f.ReadAt(hdr[:], pos); herr != nil || (err != nil && err != io.EOF) || !bytes.Equal(hdr[:4], segMagic[:]) {
 			return nil, fmt.Errorf("dataset: %s: corrupt or truncated segment header at byte %d", path, pos)
 		}
